@@ -1,0 +1,77 @@
+// E9: batch-dynamic maintenance (Theorem 1.1) vs static recompute with
+// Baswana-Sen [BS07] after every batch. The dynamic structure should win
+// for small batches and lose its edge as the batch approaches m (where a
+// fresh static build amortizes better) — the crossover location is the
+// experiment's headline shape.
+#include <benchmark/benchmark.h>
+
+#include "core/baselines/baswana_sen.hpp"
+#include "core/fully_dynamic_spanner.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+
+namespace parspan {
+namespace {
+
+constexpr size_t kN = 2048;
+constexpr size_t kM = 8 * kN;
+constexpr uint32_t kK = 3;
+constexpr size_t kBatches = 12;
+
+void BM_Dynamic(benchmark::State& state) {
+  size_t batch = size_t(state.range(0));
+  auto [initial, batches] = gen_mixed_stream(kN, kM, batch, kBatches, 5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    FullyDynamicSpannerConfig cfg;
+    cfg.k = kK;
+    cfg.seed = 9;
+    FullyDynamicSpanner sp(kN, initial, cfg);
+    state.ResumeTiming();
+    for (auto& b : batches) {
+      auto d = sp.update(b.insertions, b.deletions);
+      benchmark::DoNotOptimize(d.inserted.size());
+    }
+  }
+  state.counters["batch"] = double(batch);
+  state.counters["batches"] = double(kBatches);
+}
+
+BENCHMARK(BM_Dynamic)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_StaticRecompute(benchmark::State& state) {
+  size_t batch = size_t(state.range(0));
+  auto [initial, batches] = gen_mixed_stream(kN, kM, batch, kBatches, 5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DynamicGraph g(kN);
+    g.insert_edges(initial);
+    state.ResumeTiming();
+    for (auto& b : batches) {
+      g.erase_edges(b.deletions);
+      g.insert_edges(b.insertions);
+      auto h = baswana_sen_spanner(kN, g.edges(), kK, 3);
+      benchmark::DoNotOptimize(h.size());
+    }
+  }
+  state.counters["batch"] = double(batch);
+}
+
+BENCHMARK(BM_StaticRecompute)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// E7 (Theorem 1.5): t-bundle size vs O(n t log n) and the O(1) amortized
+// recourse per deleted edge.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/bundle.hpp"
+#include "graph/generators.hpp"
+
+namespace parspan {
+namespace {
+
+void BM_BundleDecremental(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  uint32_t t = uint32_t(state.range(1));
+  auto edges = gen_erdos_renyi(n, 12 * n, 13);
+  double init_size = 0, recourse_per_del = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BundleConfig cfg;
+    cfg.t = t;
+    cfg.seed = 21;
+    SpannerBundle b(n, edges, cfg);
+    init_size = double(b.bundle_size());
+    auto stream = gen_decremental_stream(edges, 128, 5);
+    state.ResumeTiming();
+    double deleted = 0;
+    for (auto& bb : stream) {
+      b.delete_edges(bb.deletions);
+      deleted += double(bb.deletions.size());
+    }
+    recourse_per_del = double(b.cumulative_recourse()) / deleted;
+  }
+  double ref = double(n) * double(t) * std::log2(double(n));
+  state.counters["B_edges_init"] = init_size;
+  state.counters["nt*log(n)"] = ref;
+  state.counters["size_ratio"] = init_size / ref;
+  state.counters["recourse_per_del"] = recourse_per_del;
+  state.SetItemsProcessed(int64_t(edges.size()) *
+                          int64_t(state.iterations()));
+}
+
+BENCHMARK(BM_BundleDecremental)
+    ->ArgsProduct({{256, 512}, {1, 2, 3}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

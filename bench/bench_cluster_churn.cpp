@@ -1,0 +1,44 @@
+// E12 (Lemma 3.6): the expected number of cluster reassignments per vertex
+// over a full deletion sequence is at most 2 t log n. Counters report the
+// measured churn against that bound.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/cluster_spanner.hpp"
+#include "graph/generators.hpp"
+
+namespace parspan {
+namespace {
+
+void BM_ClusterChurn(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  uint32_t k = uint32_t(state.range(1));
+  auto edges = gen_erdos_renyi(n, 8 * n, 3);
+  double churn = 0, bound = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClusterSpannerConfig cfg;
+    cfg.k = k;
+    cfg.seed = 5;
+    DecrementalClusterSpanner sp(n, edges, cfg);
+    auto stream = gen_decremental_stream(edges, 64, 7);
+    state.ResumeTiming();
+    for (auto& b : stream) sp.delete_edges(b.deletions);
+    churn = double(sp.cluster_changes()) / double(n);
+    bound = 2.0 * double(sp.t()) * std::log2(double(n));
+  }
+  state.counters["churn_per_vertex"] = churn;
+  state.counters["bound_2tlogn"] = bound;
+  state.counters["ratio"] = churn / bound;
+}
+
+BENCHMARK(BM_ClusterChurn)
+    ->ArgsProduct({{512, 1024, 2048}, {2, 3, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// E11b: container substrate calibration — CountedTreap and hash table
+// throughput, the constant factors behind every O(log n) in the paper.
+#include <benchmark/benchmark.h>
+
+#include "container/concurrent_map.hpp"
+#include "container/counted_treap.hpp"
+#include "container/priority_list.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace parspan {
+namespace {
+
+void BM_TreapInsertErase(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  Rng rng(1);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next() >> 1;
+  for (auto _ : state) {
+    CountedTreap<uint64_t> t;
+    for (uint64_t k : keys)
+      if (!t.find(k)) t.insert(k, k);
+    for (uint64_t k : keys) t.erase(k);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(2 * n));
+}
+BENCHMARK(BM_TreapInsertErase)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_TreapSelect(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  Rng rng(2);
+  CountedTreap<uint64_t> t;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t k = rng.next() >> 1;
+    if (!t.find(k)) t.insert(k, k);
+  }
+  size_t sz = t.size();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [k, v] = t.select_desc(1 + (i++ % sz));
+    benchmark::DoNotOptimize(k);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_TreapSelect)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_PriorityListNextWith(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  PriorityList<uint64_t> pl;
+  for (size_t i = 0; i < n; ++i) pl.insert(i, i + 1);
+  size_t q = 0;
+  for (auto _ : state) {
+    // Seek a value divisible by 64 starting from a rotating position.
+    size_t pos = 1 + (q++ % (n - 64));
+    auto r = pl.next_with(pos, [](uint64_t v) { return v % 64 == 0; });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_PriorityListNextWith)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ShardedMapParallelInsert(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  for (auto _ : state) {
+    ShardedMap<uint64_t, uint64_t> m(64);
+    parallel_for(0, n, [&](size_t i) { m.insert_or_assign(i, i); }, 1024);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_ShardedMapParallelInsert)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_ConcurrentFixedMapInsert(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  for (auto _ : state) {
+    ConcurrentFixedMap m(n);
+    parallel_for(0, n, [&](size_t i) { m.insert(i + 1, i); }, 1024);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_ConcurrentFixedMapInsert)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

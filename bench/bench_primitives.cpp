@@ -1,0 +1,57 @@
+// Microbenchmarks for the parallel substrate (scan / pack / sort).
+// These calibrate the constant factors that underlie the work bounds of the
+// batch-dynamic structures.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "parallel/primitives.hpp"
+#include "util/rng.hpp"
+
+namespace parspan {
+namespace {
+
+void BM_Scan(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<uint64_t> base(n);
+  for (auto& x : base) x = rng.next_below(100);
+  for (auto _ : state) {
+    auto xs = base;
+    benchmark::DoNotOptimize(exclusive_scan_inplace(xs));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_Scan)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_Sort(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<uint64_t> base(n);
+  for (auto& x : base) x = rng.next();
+  for (auto _ : state) {
+    auto xs = base;
+    parallel_sort(xs);
+    benchmark::DoNotOptimize(xs.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_Sort)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 20);
+
+void BM_Pack(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<uint64_t> base(n);
+  for (auto& x : base) x = rng.next();
+  for (auto _ : state) {
+    auto out = filter(base, [](uint64_t x) { return (x & 1) == 0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_Pack)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// E10: parallel scalability. The work-depth claims are machine-independent
+// (phases counters); wall-clock scaling on this host compares 1 vs all
+// worker threads on batch updates and on the parallel substrate.
+#include <benchmark/benchmark.h>
+
+#include "core/fully_dynamic_spanner.hpp"
+#include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+
+namespace parspan {
+namespace {
+
+void BM_UpdateThreads(benchmark::State& state) {
+  int threads = int(state.range(0));
+  const size_t n = 4096;
+  auto [initial, batches] = gen_mixed_stream(n, 8 * n, 1024, 8, 3);
+  int saved = num_workers();
+  set_num_workers(threads);
+  for (auto _ : state) {
+    state.PauseTiming();
+    FullyDynamicSpannerConfig cfg;
+    cfg.k = 3;
+    cfg.seed = 1;
+    FullyDynamicSpanner sp(n, initial, cfg);
+    state.ResumeTiming();
+    for (auto& b : batches) {
+      auto d = sp.update(b.insertions, b.deletions);
+      benchmark::DoNotOptimize(d.inserted.size());
+    }
+  }
+  set_num_workers(saved);
+  state.counters["threads"] = double(threads);
+}
+
+BENCHMARK(BM_UpdateThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_SortThreads(benchmark::State& state) {
+  int threads = int(state.range(0));
+  Rng rng(4);
+  std::vector<uint64_t> base(1 << 21);
+  for (auto& x : base) x = rng.next();
+  int saved = num_workers();
+  set_num_workers(threads);
+  for (auto _ : state) {
+    auto xs = base;
+    parallel_sort(xs);
+    benchmark::DoNotOptimize(xs.data());
+  }
+  set_num_workers(saved);
+  state.counters["threads"] = double(threads);
+}
+
+BENCHMARK(BM_SortThreads)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

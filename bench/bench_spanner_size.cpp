@@ -1,0 +1,53 @@
+// E1 (Theorem 1.1): spanner size vs the O(n^{1+1/k} log n) bound.
+//
+// Rows sweep (n, k) on G(n, 8n); counters report the spanner size, the
+// n^{1+1/k} reference, and their ratio — the theorem predicts a bounded
+// ratio as n grows. Timing measures full initialization (O(m log n) work).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/fully_dynamic_spanner.hpp"
+#include "graph/generators.hpp"
+
+namespace parspan {
+namespace {
+
+void BM_SpannerSize(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  uint32_t k = uint32_t(state.range(1));
+  // The Bentley-Saxe partition E_0 legitimately holds everything while
+  // m <= n^{1+1/k}; to exercise sparsification the graph must be denser
+  // than the target size.
+  size_t m = std::min(n * (n - 1) / 2,
+                      size_t(4.0 * std::pow(double(n), 1.0 + 1.0 / k)));
+  m = std::max(m, 8 * n);
+  auto edges = gen_erdos_renyi(n, m, 42 + n);
+  double size_sum = 0;
+  size_t runs = 0;
+  for (auto _ : state) {
+    FullyDynamicSpannerConfig cfg;
+    cfg.k = k;
+    cfg.seed = 1000 + runs;
+    FullyDynamicSpanner sp(n, edges, cfg);
+    size_sum += double(sp.spanner_size());
+    ++runs;
+    benchmark::DoNotOptimize(sp.spanner_size());
+  }
+  double avg = size_sum / double(runs);
+  double ref = std::pow(double(n), 1.0 + 1.0 / double(k));
+  state.counters["H_edges"] = avg;
+  state.counters["n^(1+1/k)"] = ref;
+  state.counters["ratio"] = avg / ref;
+  state.counters["m"] = double(m);
+}
+
+BENCHMARK(BM_SpannerSize)
+    ->ArgsProduct({{512, 1024, 2048}, {2, 3, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

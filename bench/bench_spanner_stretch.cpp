@@ -1,0 +1,61 @@
+// E2 (Theorem 1.1): measured stretch vs the (2k-1) guarantee.
+//
+// After a burst of random deletions, the worst stretch over remaining edges
+// must stay <= 2k-1 (the oracle measures it exactly). Counters report the
+// measured maximum and the bound.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "core/fully_dynamic_spanner.hpp"
+#include "graph/generators.hpp"
+#include "verify/spanner_check.hpp"
+
+namespace parspan {
+namespace {
+
+void BM_SpannerStretch(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  uint32_t k = uint32_t(state.range(1));
+  // Denser than n^{1+1/k}: below that the spanner may keep every edge and
+  // the measured stretch degenerates to 1.
+  size_t m = std::min(n * (n - 1) / 2,
+                      size_t(3.0 * std::pow(double(n), 1.0 + 1.0 / k)));
+  auto edges = gen_erdos_renyi(n, m, 7 + n);
+  uint32_t worst = 0;
+  for (auto _ : state) {
+    FullyDynamicSpannerConfig cfg;
+    cfg.k = k;
+    cfg.seed = 5;
+    FullyDynamicSpanner sp(n, edges, cfg);
+    // Delete a third of the edges in batches, then measure.
+    auto stream = gen_decremental_stream(edges, edges.size() / 10, 99);
+    std::vector<Edge> alive = edges;
+    for (size_t b = 0; b < 3 && b < stream.size(); ++b) {
+      sp.delete_edges(stream[b].deletions);
+      std::unordered_set<EdgeKey> dead;
+      for (auto& e : stream[b].deletions) dead.insert(e.key());
+      std::vector<Edge> next;
+      for (auto& e : alive)
+        if (!dead.count(e.key())) next.push_back(e);
+      alive = std::move(next);
+    }
+    uint32_t s =
+        max_edge_stretch(n, alive, sp.spanner_edges(), 2 * k - 1);
+    worst = std::max(worst, s);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["measured_stretch"] = double(worst);
+  state.counters["bound_2k-1"] = double(2 * k - 1);
+}
+
+BENCHMARK(BM_SpannerStretch)
+    ->ArgsProduct({{256, 512, 1024}, {2, 3, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

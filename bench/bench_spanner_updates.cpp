@@ -1,0 +1,52 @@
+// E3 (Theorem 1.1): amortized update cost and recourse per edge vs batch
+// size. The theorem predicts O(k log^2 n) amortized work and recourse per
+// updated edge, independent of the batch size; wall-clock per edge should
+// therefore flatten (and improve with batching constants).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/fully_dynamic_spanner.hpp"
+#include "graph/generators.hpp"
+
+namespace parspan {
+namespace {
+
+void BM_SpannerUpdates(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  size_t batch = size_t(state.range(1));
+  uint32_t k = 3;
+  // Denser than n^{1+1/k} so the decremental instances do real work.
+  size_t m = size_t(3.0 * std::pow(double(n), 1.0 + 1.0 / k));
+  auto [initial, batches] = gen_mixed_stream(n, m, batch, 40, 17);
+  double recourse = 0, edges_updated = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    FullyDynamicSpannerConfig cfg;
+    cfg.k = k;
+    cfg.seed = 3;
+    FullyDynamicSpanner sp(n, initial, cfg);
+    recourse = 0;
+    edges_updated = 0;
+    state.ResumeTiming();
+    for (auto& b : batches) {
+      auto diff = sp.update(b.insertions, b.deletions);
+      recourse += double(diff.inserted.size() + diff.removed.size());
+      edges_updated += double(b.insertions.size() + b.deletions.size());
+    }
+  }
+  state.counters["recourse_per_edge"] = recourse / edges_updated;
+  state.counters["edges_updated"] = edges_updated;
+  state.SetItemsProcessed(int64_t(edges_updated) *
+                          int64_t(state.iterations()));
+}
+
+BENCHMARK(BM_SpannerUpdates)
+    ->ArgsProduct({{1024, 4096}, {16, 64, 256, 1024}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// E5 (Theorem 1.3): sparse spanner size O(n), stretch, and update recourse.
+// Counters report edges-per-vertex (the theorem predicts a constant) and
+// the measured stretch against the composed bound.
+#include <benchmark/benchmark.h>
+
+#include "core/sparse_spanner.hpp"
+#include "graph/generators.hpp"
+#include "verify/spanner_check.hpp"
+
+namespace parspan {
+namespace {
+
+void BM_SparseSpannerInit(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  auto edges = gen_erdos_renyi(n, 10 * n, 5 + n);
+  double size_avg = 0;
+  size_t runs = 0;
+  for (auto _ : state) {
+    SparseSpannerConfig cfg;
+    cfg.seed = 100 + runs;
+    SparseSpanner sp(n, edges, cfg);
+    size_avg += double(sp.spanner_size());
+    ++runs;
+  }
+  size_avg /= double(runs);
+  state.counters["H_edges"] = size_avg;
+  state.counters["edges_per_vertex"] = size_avg / double(n);
+}
+
+BENCHMARK(BM_SparseSpannerInit)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void BM_SparseSpannerUpdates(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  size_t batch = size_t(state.range(1));
+  auto [initial, batches] = gen_mixed_stream(n, 8 * n, batch, 30, 23);
+  double recourse = 0, edges_updated = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SparseSpannerConfig cfg;
+    cfg.seed = 9;
+    SparseSpanner sp(n, initial, cfg);
+    recourse = edges_updated = 0;
+    state.ResumeTiming();
+    for (auto& b : batches) {
+      auto diff = sp.update(b.insertions, b.deletions);
+      recourse += double(diff.inserted.size() + diff.removed.size());
+      edges_updated += double(b.insertions.size() + b.deletions.size());
+    }
+  }
+  state.counters["recourse_per_edge"] = recourse / edges_updated;
+  state.SetItemsProcessed(int64_t(edges_updated) *
+                          int64_t(state.iterations()));
+}
+
+BENCHMARK(BM_SparseSpannerUpdates)
+    ->ArgsProduct({{1024, 2048}, {32, 256}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_SparseSpannerStretch(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  auto edges = gen_erdos_renyi(n, 8 * n, 77);
+  uint32_t measured = 0, bound = 0;
+  for (auto _ : state) {
+    SparseSpannerConfig cfg;
+    cfg.seed = 31;
+    SparseSpanner sp(n, edges, cfg);
+    bound = sp.stretch_bound();
+    measured = max_edge_stretch(n, edges, sp.spanner_edges(), bound);
+  }
+  state.counters["measured_stretch"] = double(measured);
+  state.counters["bound"] = double(bound);
+}
+
+BENCHMARK(BM_SparseSpannerStretch)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// E8 (Theorem 1.6 / Lemma 6.6): sparsifier quality (measured epsilon on
+// random cuts and quadratic forms) and size, as the bundle depth t grows.
+// The theory predicts quality improving with t at an O(n t polylog) size
+// cost; the crossover t is far below the theorem's worst-case constants.
+#include <benchmark/benchmark.h>
+
+#include "core/sparsifier.hpp"
+#include "graph/generators.hpp"
+#include "verify/laplacian.hpp"
+
+namespace parspan {
+namespace {
+
+void BM_SparsifierQuality(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  uint32_t t = uint32_t(state.range(1));
+  auto edges = gen_erdos_renyi(n, 20 * n, 3);
+  double cut_err = 0, form_err = 0, size = 0;
+  for (auto _ : state) {
+    SparsifierConfig cfg;
+    cfg.t = t;
+    cfg.instances = 5;  // practical forest count (the w.h.p. default would
+                        // absorb the whole graph at these sizes)
+    cfg.seed = 11;
+    DecrementalSparsifier sp(n, edges, cfg);
+    auto q = sparsifier_quality(n, edges, sp.sparsifier_edges(), 20, 20, 9);
+    cut_err = q.max_cut_err;
+    form_err = q.max_form_err;
+    size = double(sp.size());
+  }
+  state.counters["eps_cut"] = cut_err;
+  state.counters["eps_form"] = form_err;
+  state.counters["H_edges"] = size;
+  state.counters["keep_fraction"] = size / double(edges.size());
+}
+
+BENCHMARK(BM_SparsifierQuality)
+    ->ArgsProduct({{256, 512}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_SparsifierUpdates(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  auto edges = gen_erdos_renyi(n, 16 * n, 5);
+  double recourse = 0, deleted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SparsifierConfig cfg;
+    cfg.t = 2;
+    cfg.seed = 7;
+    DecrementalSparsifier sp(n, edges, cfg);
+    auto stream = gen_decremental_stream(edges, 128, 3);
+    recourse = deleted = 0;
+    state.ResumeTiming();
+    for (auto& b : stream) {
+      auto d = sp.delete_edges(b.deletions);
+      recourse += double(d.inserted.size() + d.removed.size());
+      deleted += double(b.deletions.size());
+    }
+  }
+  state.counters["recourse_per_del"] = recourse / deleted;
+  state.SetItemsProcessed(int64_t(deleted) * int64_t(state.iterations()));
+}
+
+BENCHMARK(BM_SparsifierUpdates)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

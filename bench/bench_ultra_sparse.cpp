@@ -1,0 +1,72 @@
+// E6 (Theorem 1.4): ultra-sparse spanner size n + O(n/x) vs x.
+// Counters report (|H| - n)/(n/x): the theorem predicts a bounded constant.
+#include <benchmark/benchmark.h>
+
+#include "core/ultra.hpp"
+#include "graph/generators.hpp"
+#include "verify/spanner_check.hpp"
+
+namespace parspan {
+namespace {
+
+void BM_UltraSize(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  uint32_t x = uint32_t(state.range(1));
+  // Dense-ish graph so that heavy vertices dominate (avg degree above the
+  // 10 x log x threshold keeps the light BFS balls small).
+  auto edges = gen_erdos_renyi(n, 16 * n, 3 + n);
+  double size_avg = 0;
+  size_t runs = 0;
+  for (auto _ : state) {
+    UltraConfig cfg;
+    cfg.x = x;
+    cfg.seed = 50 + runs;
+    UltraSparseSpanner sp(n, edges, cfg);
+    size_avg += double(sp.spanner_size());
+    ++runs;
+  }
+  size_avg /= double(runs);
+  double extra = size_avg - double(n);
+  state.counters["H_edges"] = size_avg;
+  state.counters["extra_over_n"] = extra;
+  state.counters["extra*(x/n)"] = extra * double(x) / double(n);
+}
+
+BENCHMARK(BM_UltraSize)
+    ->ArgsProduct({{512, 1024}, {2, 3, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_UltraUpdates(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  auto [initial, batches] = gen_mixed_stream(n, 14 * n, 32, 20, 7);
+  double recourse = 0, edges_updated = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    UltraConfig cfg;
+    cfg.x = 2;
+    cfg.seed = 77;
+    UltraSparseSpanner sp(n, initial, cfg);
+    recourse = edges_updated = 0;
+    state.ResumeTiming();
+    for (auto& b : batches) {
+      auto diff = sp.update(b.insertions, b.deletions);
+      recourse += double(diff.inserted.size() + diff.removed.size());
+      edges_updated += double(b.insertions.size() + b.deletions.size());
+    }
+  }
+  state.counters["recourse_per_edge"] = recourse / edges_updated;
+  state.SetItemsProcessed(int64_t(edges_updated) *
+                          int64_t(state.iterations()));
+}
+
+BENCHMARK(BM_UltraUpdates)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

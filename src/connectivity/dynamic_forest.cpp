@@ -1,0 +1,156 @@
+#include "connectivity/dynamic_forest.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace parspan {
+
+SmallComponentForest::SmallComponentForest(size_t n)
+    : n_(n), adj_(n), comp_(n, kNoComp) {
+  // Isolated vertices carry no component until they gain an edge; each
+  // vertex starts as its own singleton (lazily materialized).
+}
+
+std::vector<Edge> SmallComponentForest::forest_edges() const {
+  std::vector<Edge> out;
+  out.reserve(forest_.size());
+  for (EdgeKey ek : forest_) out.push_back(edge_from_key(ek));
+  return out;
+}
+
+void SmallComponentForest::rebuild_around(
+    const std::vector<VertexId>& seeds,
+    std::unordered_map<EdgeKey, int32_t>& delta) {
+  // Collect the union of affected components (pre-update memberships plus
+  // the seeds themselves).
+  std::unordered_set<VertexId> affected;
+  for (VertexId s : seeds) {
+    if (affected.count(s)) continue;
+    if (comp_[s] != kNoComp) {
+      for (VertexId v : comp_members_[comp_[s]]) affected.insert(v);
+    } else {
+      affected.insert(s);
+    }
+  }
+  // Remove old forest edges inside the affected set; release components.
+  std::unordered_set<uint32_t> released;
+  for (VertexId v : affected) {
+    if (comp_[v] != kNoComp) released.insert(comp_[v]);
+    comp_[v] = kNoComp;
+  }
+  for (uint32_t c : released) {
+    for (VertexId v : comp_members_[c]) {
+      for (VertexId w : adj_[v]) {
+        EdgeKey ek = edge_key(v, w);
+        if (v < w && forest_.erase(ek)) --delta[ek];
+      }
+    }
+    comp_members_[c].clear();
+    free_comps_.push_back(c);
+  }
+  // BFS the affected vertices to rebuild components and their forests.
+  for (VertexId s : affected) {
+    if (comp_[s] != kNoComp) continue;
+    uint32_t c;
+    if (!free_comps_.empty()) {
+      c = free_comps_.back();
+      free_comps_.pop_back();
+    } else {
+      c = uint32_t(comp_members_.size());
+      comp_members_.emplace_back();
+    }
+    std::deque<VertexId> q{s};
+    comp_[s] = c;
+    comp_members_[c].push_back(s);
+    while (!q.empty()) {
+      VertexId v = q.front();
+      q.pop_front();
+      for (VertexId w : adj_[v]) {
+        if (comp_[w] != kNoComp) {
+          assert(comp_[w] == c || !affected.count(w));
+          continue;
+        }
+        comp_[w] = c;
+        comp_members_[c].push_back(w);
+        EdgeKey ek = edge_key(v, w);
+        if (forest_.insert(ek).second) ++delta[ek];
+        q.push_back(w);
+      }
+    }
+  }
+}
+
+SpannerDiff SmallComponentForest::update(const std::vector<Edge>& ins,
+                                         const std::vector<Edge>& del) {
+  std::unordered_map<EdgeKey, int32_t> delta;
+  std::vector<VertexId> seeds;
+  for (const Edge& e : del) {
+    if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
+    if (!edges_.erase(e.key())) continue;
+    adj_[e.u].erase(e.v);
+    adj_[e.v].erase(e.u);
+    // The rebuild scans post-deletion adjacency, so a dying tree edge must
+    // leave the forest here.
+    if (forest_.erase(e.key())) --delta[e.key()];
+    seeds.push_back(e.u);
+    seeds.push_back(e.v);
+  }
+  for (const Edge& e : ins) {
+    if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
+    if (!edges_.insert(e.key()).second) continue;
+    adj_[e.u].insert(e.v);
+    adj_[e.v].insert(e.u);
+    seeds.push_back(e.u);
+    seeds.push_back(e.v);
+  }
+  if (!seeds.empty()) rebuild_around(seeds, delta);
+  SpannerDiff diff;
+  for (auto& [ek, d] : delta) {
+    assert(d >= -1 && d <= 1);
+    if (d > 0) diff.inserted.push_back(edge_from_key(ek));
+    if (d < 0) diff.removed.push_back(edge_from_key(ek));
+  }
+  return diff;
+}
+
+bool SmallComponentForest::check_invariants() const {
+  // Forest edges must exist and connect same-component endpoints; the
+  // forest restricted to each component must be a spanning tree.
+  for (EdgeKey ek : forest_) {
+    if (!edges_.count(ek)) return false;
+    Edge e = edge_from_key(ek);
+    if (comp_[e.u] != comp_[e.v] || comp_[e.u] == kNoComp) return false;
+  }
+  // Connectivity agreement via fresh BFS.
+  std::vector<uint32_t> ref(n_, kNoComp);
+  uint32_t next = 0;
+  for (VertexId s = 0; s < n_; ++s) {
+    if (ref[s] != kNoComp || adj_[s].empty()) continue;
+    uint32_t c = next++;
+    std::deque<VertexId> q{s};
+    ref[s] = c;
+    size_t verts = 0, tree_edges = 0;
+    while (!q.empty()) {
+      VertexId v = q.front();
+      q.pop_front();
+      ++verts;
+      for (VertexId w : adj_[v]) {
+        if (forest_.count(edge_key(v, w)) && v < w) ++tree_edges;
+        if (ref[w] == kNoComp) {
+          ref[w] = c;
+          q.push_back(w);
+        }
+      }
+    }
+    if (tree_edges != verts - 1) return false;  // spanning tree exactly
+  }
+  // Same-component relation must agree.
+  for (VertexId v = 0; v < n_; ++v)
+    for (VertexId w : adj_[v]) {
+      if ((comp_[v] == comp_[w]) != (ref[v] == ref[w])) return false;
+      if (comp_[v] != comp_[w]) return false;  // adjacent => same comp
+    }
+  return true;
+}
+
+}  // namespace parspan

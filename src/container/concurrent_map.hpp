@@ -1,0 +1,189 @@
+// Concurrent dictionaries used where a single global table receives parallel
+// batch operations (Index(e) of Theorem 1.1, InterCluster of Lemma 3.3,
+// NextLevelEdges of Lemma 4.1, ...). Stand-in for the CRCW hash table of
+// [GMV91] (see DESIGN.md §1).
+//
+// Two flavors:
+//  * ShardedMap<K,V>: striped std::unordered_map; supports arbitrary V and
+//    erase; the general-purpose workhorse.
+//  * ConcurrentFixedMap: open-addressing CAS table for uint64 keys, insert/
+//    find only, used in hot parallel phases with pre-known capacity.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parspan {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedMap {
+ public:
+  explicit ShardedMap(size_t num_shards = 64) {
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i)
+      shards_.push_back(std::make_unique<Shard>());
+  }
+
+  /// Inserts or overwrites key -> value.
+  void insert_or_assign(const K& key, const V& value) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> g(s.mu);
+    s.map[key] = value;
+  }
+
+  /// Applies fn(V&) to the value of `key`, default-constructing it first if
+  /// absent. The lock is held for the duration of fn.
+  template <typename Fn>
+  void upsert(const K& key, Fn&& fn) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> g(s.mu);
+    fn(s.map[key]);
+  }
+
+  /// Applies fn(V&) if the key is present; returns whether it was. If fn
+  /// returns false the entry is erased (update-or-erase in one lock).
+  template <typename Fn>
+  bool update_or_erase(const K& key, Fn&& fn) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> g(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    if (!fn(it->second)) s.map.erase(it);
+    return true;
+  }
+
+  /// Copy of the value if present.
+  std::optional<V> get(const K& key) const {
+    const Shard& s = shard(key);
+    std::lock_guard<std::mutex> g(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(const K& key) const { return get(key).has_value(); }
+
+  bool erase(const K& key) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> g(s.mu);
+    return s.map.erase(key) > 0;
+  }
+
+  /// Total entry count (takes all shard locks; not for hot paths).
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> g(s->mu);
+      n += s->map.size();
+    }
+    return n;
+  }
+
+  void clear() {
+    for (auto& s : shards_) {
+      std::lock_guard<std::mutex> g(s->mu);
+      s->map.clear();
+    }
+  }
+
+  /// Visits all entries. NOT safe concurrently with writers.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& s : shards_)
+      for (const auto& [k, v] : s->map) fn(k, v);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<K, V, Hash> map;
+  };
+
+  Shard& shard(const K& key) {
+    return *shards_[Hash{}(key) * 0x9e3779b97f4a7c15ULL % shards_.size()];
+  }
+  const Shard& shard(const K& key) const {
+    return *shards_[Hash{}(key) * 0x9e3779b97f4a7c15ULL % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Fixed-capacity open-addressing hash map for uint64 keys (values uint64),
+/// with lock-free concurrent insert/find. No erase; keys must be != kEmpty.
+/// Used in parallel phases where the batch size bounds the capacity.
+class ConcurrentFixedMap {
+ public:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  explicit ConcurrentFixedMap(size_t capacity_hint = 16) { rebuild(capacity_hint); }
+
+  /// Re-initializes with capacity for at least `n` keys (not thread-safe).
+  void rebuild(size_t n) {
+    size_t cap = 16;
+    while (cap < 2 * n + 8) cap <<= 1;
+    keys_ = std::make_unique<std::atomic<uint64_t>[]>(cap);
+    vals_ = std::make_unique<std::atomic<uint64_t>[]>(cap);
+    cap_ = cap;
+    mask_ = cap - 1;
+    for (size_t i = 0; i < cap; ++i) {
+      keys_[i].store(kEmpty, std::memory_order_relaxed);
+      vals_[i].store(0, std::memory_order_relaxed);
+    }
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Inserts key -> value if absent; returns true if this call inserted.
+  /// Concurrent inserts of the same key keep the first value.
+  bool insert(uint64_t key, uint64_t value) {
+    assert(key != kEmpty);
+    size_t i = splitmix64(key) & mask_;
+    while (true) {
+      uint64_t cur = keys_[i].load(std::memory_order_acquire);
+      if (cur == key) return false;
+      if (cur == kEmpty) {
+        uint64_t expected = kEmpty;
+        if (keys_[i].compare_exchange_strong(expected, key,
+                                             std::memory_order_acq_rel)) {
+          vals_[i].store(value, std::memory_order_release);
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        if (expected == key) return false;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Looks up `key`; returns the value or nullopt.
+  std::optional<uint64_t> find(uint64_t key) const {
+    size_t i = splitmix64(key) & mask_;
+    while (true) {
+      uint64_t cur = keys_[i].load(std::memory_order_acquire);
+      if (cur == kEmpty) return std::nullopt;
+      if (cur == key) return vals_[i].load(std::memory_order_acquire);
+      i = (i + 1) & mask_;
+    }
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return cap_; }
+
+ private:
+  std::unique_ptr<std::atomic<uint64_t>[]> keys_;
+  std::unique_ptr<std::atomic<uint64_t>[]> vals_;
+  size_t cap_ = 0;
+  size_t mask_ = 0;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace parspan

@@ -1,0 +1,268 @@
+// CountedTreap: an ordered dictionary over distinct uint64 keys with subtree
+// counts, supporting order statistics (k-th largest), rank queries, and
+// in-order iteration in descending key order starting from an arbitrary key.
+//
+// This is the repo's stand-in for the parallel red-black tree of [PP01] and
+// the lazily-allocated segment tree of [LS13] used in the paper's Lemma 3.1:
+// every per-element operation is O(log size) expected, and batch operations
+// across many per-vertex trees are parallelized at the caller level.
+//
+// Heap priorities are derived deterministically from the key via splitmix64,
+// which makes the tree shape a function of the key set only (replayable runs,
+// no RNG state needed).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parspan {
+
+template <typename Value>
+class CountedTreap {
+ public:
+  CountedTreap() = default;
+
+  /// Number of stored entries.
+  size_t size() const { return root_ < 0 ? 0 : pool_[root_].count; }
+  bool empty() const { return root_ < 0; }
+
+  /// Removes all entries (keeps pool capacity).
+  void clear() {
+    pool_.clear();
+    free_.clear();
+    root_ = -1;
+  }
+
+  /// Inserts a (key, value) pair. Key must not already be present.
+  void insert(uint64_t key, const Value& value) {
+    assert(find(key) == nullptr && "duplicate key");
+    int32_t node = alloc(key, value);
+    auto [l, r] = split(root_, key);
+    root_ = merge(merge(l, node), r);
+  }
+
+  /// Removes the entry with `key`; returns true if it was present.
+  bool erase(uint64_t key) {
+    int32_t* link = &root_;
+    while (*link >= 0) {
+      Node& n = pool_[*link];
+      if (key == n.key) {
+        int32_t dead = *link;
+        *link = merge(n.left, n.right);
+        // Fix counts up the path: simplest is to re-descend from root.
+        update_counts_on_path(root_, key);
+        release(dead);
+        return true;
+      }
+      --n.count;  // optimistic: will be restored below if not found
+      link = key < n.key ? &n.left : &n.right;
+    }
+    // Key absent: undo the optimistic decrements.
+    restore_counts(root_, key);
+    return false;
+  }
+
+  /// Pointer to the value stored under `key`, or nullptr.
+  Value* find(uint64_t key) {
+    int32_t t = root_;
+    while (t >= 0) {
+      Node& n = pool_[t];
+      if (key == n.key) return &n.value;
+      t = key < n.key ? n.left : n.right;
+    }
+    return nullptr;
+  }
+  const Value* find(uint64_t key) const {
+    return const_cast<CountedTreap*>(this)->find(key);
+  }
+
+  /// Entry with the k-th largest key (k in [1, size]); returns (key, value*).
+  std::pair<uint64_t, Value*> select_desc(size_t k) {
+    assert(k >= 1 && k <= size());
+    int32_t t = root_;
+    while (true) {
+      Node& n = pool_[t];
+      size_t right_count = n.right >= 0 ? pool_[n.right].count : 0;
+      if (k == right_count + 1) return {n.key, &n.value};
+      if (k <= right_count) {
+        t = n.right;
+      } else {
+        k -= right_count + 1;
+        t = n.left;
+      }
+    }
+  }
+
+  /// Number of entries with key >= `key` (descending rank of `key` if
+  /// present; otherwise the rank it would have).
+  size_t rank_desc(uint64_t key) const {
+    size_t cnt = 0;
+    int32_t t = root_;
+    while (t >= 0) {
+      const Node& n = pool_[t];
+      if (n.key >= key) {
+        cnt += 1 + (n.right >= 0 ? pool_[n.right].count : 0);
+        t = n.left;
+      } else {
+        t = n.right;
+      }
+    }
+    return cnt;
+  }
+
+  /// Largest key, or 0 if empty (check empty() first).
+  uint64_t max_key() const {
+    int32_t t = root_;
+    uint64_t k = 0;
+    while (t >= 0) {
+      k = pool_[t].key;
+      t = pool_[t].right;
+    }
+    return k;
+  }
+
+  /// Visits entries with key <= `start` in descending key order; stops when
+  /// `fn(key, value&)` returns false. This is the iteration NextWith uses:
+  /// O((#visited) * O(1) + log size) amortized via the explicit stack.
+  template <typename Fn>
+  void for_each_desc_from(uint64_t start, Fn&& fn) {
+    // Stack of subtrees whose whole content is <= the last emitted key.
+    scratch_.clear();
+    int32_t t = root_;
+    while (t >= 0) {
+      Node& n = pool_[t];
+      if (n.key > start) {
+        t = n.left;
+      } else {
+        scratch_.push_back(t);
+        t = n.right;
+      }
+    }
+    while (!scratch_.empty()) {
+      int32_t cur = scratch_.back();
+      scratch_.pop_back();
+      Node& n = pool_[cur];
+      if (!fn(n.key, n.value)) return;
+      // Descend the left subtree, pushing right spines.
+      int32_t s = n.left;
+      while (s >= 0) {
+        scratch_.push_back(s);
+        s = pool_[s].right;
+      }
+    }
+  }
+
+  /// Visits all entries in descending key order.
+  template <typename Fn>
+  void for_each_desc(Fn&& fn) {
+    for_each_desc_from(~uint64_t{0}, std::forward<Fn>(fn));
+  }
+
+  /// Visits all entries in unspecified order (fast path for materialization).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Node& n : pool_) {
+      if (n.live) fn(n.key, n.value);
+    }
+  }
+
+ private:
+  struct Node {
+    uint64_t key = 0;
+    uint64_t prio = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t count = 1;
+    bool live = false;
+    Value value{};
+  };
+
+  int32_t alloc(uint64_t key, const Value& value) {
+    int32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+      pool_[idx] = Node{};
+    } else {
+      idx = static_cast<int32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    Node& n = pool_[idx];
+    n.key = key;
+    n.prio = splitmix64(key ^ 0x6a09e667f3bcc909ULL);
+    n.count = 1;
+    n.live = true;
+    n.value = value;
+    return idx;
+  }
+
+  void release(int32_t idx) {
+    pool_[idx].live = false;
+    free_.push_back(idx);
+  }
+
+  uint32_t count(int32_t t) const { return t < 0 ? 0 : pool_[t].count; }
+
+  void pull(int32_t t) {
+    pool_[t].count = 1 + count(pool_[t].left) + count(pool_[t].right);
+  }
+
+  /// Splits t into (< key, >= key).
+  std::pair<int32_t, int32_t> split(int32_t t, uint64_t key) {
+    if (t < 0) return {-1, -1};
+    Node& n = pool_[t];
+    if (n.key < key) {
+      auto [l, r] = split(n.right, key);
+      n.right = l;
+      pull(t);
+      return {t, r};
+    }
+    auto [l, r] = split(n.left, key);
+    n.left = r;
+    pull(t);
+    return {l, t};
+  }
+
+  int32_t merge(int32_t a, int32_t b) {
+    if (a < 0) return b;
+    if (b < 0) return a;
+    if (pool_[a].prio > pool_[b].prio) {
+      pool_[a].right = merge(pool_[a].right, b);
+      pull(a);
+      return a;
+    }
+    pool_[b].left = merge(a, pool_[b].left);
+    pull(b);
+    return b;
+  }
+
+  /// After erase spliced a node out mid-path, recompute counts along the
+  /// search path of `key` from the root.
+  void update_counts_on_path(int32_t t, uint64_t key) {
+    // Counts above the splice point were already decremented optimistically
+    // during the downward pass; the spliced subtree (merge of children) has
+    // correct counts. Nothing to do — kept as a named no-op for clarity.
+    (void)t;
+    (void)key;
+  }
+
+  /// Undo optimistic count decrements along the search path of a missing key.
+  void restore_counts(int32_t t, uint64_t key) {
+    while (t >= 0) {
+      Node& n = pool_[t];
+      if (key == n.key) return;  // unreachable for missing keys
+      ++n.count;
+      t = key < n.key ? n.left : n.right;
+    }
+  }
+
+  std::vector<Node> pool_;
+  std::vector<int32_t> free_;
+  std::vector<int32_t> scratch_;
+  int32_t root_ = -1;
+};
+
+}  // namespace parspan

@@ -1,0 +1,111 @@
+// PriorityList: the data structure of Lemma 3.1 of the paper.
+//
+// Maintains l elements, each with a distinct priority in [1, poly(n)],
+// behaving as an array sorted in DECREASING order of priority:
+//
+//   Initialize({(v_i, p_i)})      O(l log n) work
+//   UpdateValue(k, v)             O(log n)
+//   UpdatePriority(k, p)          O(log n)
+//   Query(k)                      O(log n)   k-th largest priority element
+//   Find(p)                       O(log n)   element with priority p + its rank
+//   NextWith(k, f)                O((q-k+1) log n): smallest position q >= k
+//                                 whose element satisfies f, or size()+1
+//
+// The paper realizes this with a lazily-allocated segment tree over the
+// priority universe [LS13]; we use a CountedTreap, which offers the same
+// interface and the same per-operation bounds with smaller constants for
+// sparse universes (see DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "container/counted_treap.hpp"
+
+namespace parspan {
+
+template <typename Value>
+class PriorityList {
+ public:
+  PriorityList() = default;
+
+  /// Initializes with (value, priority) pairs. Priorities must be distinct.
+  explicit PriorityList(
+      const std::vector<std::pair<Value, uint64_t>>& elements) {
+    for (const auto& [v, p] : elements) tree_.insert(p, v);
+  }
+
+  /// Number of stored elements.
+  size_t size() const { return tree_.size(); }
+
+  /// Inserts one element (extension over the paper's fixed-size interface;
+  /// used when edge insertions add entries to In(v) lists).
+  void insert(const Value& v, uint64_t priority) {
+    tree_.insert(priority, v);
+  }
+
+  /// Removes the element with the given priority; true if present.
+  bool erase_priority(uint64_t priority) { return tree_.erase(priority); }
+
+  /// Sets the value of the element at position k (1-indexed, k-th largest
+  /// priority).
+  void update_value(size_t k, const Value& v) {
+    *tree_.select_desc(k).second = v;
+  }
+
+  /// Moves the element at position k to a new (distinct) priority.
+  void update_priority(size_t k, uint64_t new_priority) {
+    auto [old_key, val_ptr] = tree_.select_desc(k);
+    Value v = *val_ptr;
+    tree_.erase(old_key);
+    tree_.insert(new_priority, v);
+  }
+
+  /// Element at position k together with its priority.
+  std::pair<uint64_t, Value> query(size_t k) {
+    auto [key, val] = tree_.select_desc(k);
+    return {key, *val};
+  }
+
+  /// Element with priority p (if any) and the number of elements with
+  /// priority >= p (its 1-indexed position when present).
+  std::pair<std::optional<Value>, size_t> find(uint64_t p) {
+    size_t rank = tree_.rank_desc(p);
+    Value* v = tree_.find(p);
+    if (v) return {*v, rank};
+    return {std::nullopt, rank};
+  }
+
+  /// Smallest position q >= k whose element satisfies f(value); size()+1 if
+  /// none. Work O((q-k+1) log n) as in the paper (the exponential-search
+  /// formulation of Lemma 3.1 has the same bound).
+  template <typename F>
+  size_t next_with(size_t k, F&& f) {
+    size_t n = tree_.size();
+    if (k > n) return n + 1;
+    // Start from the key at rank k and walk descending.
+    uint64_t start_key = tree_.select_desc(k).first;
+    size_t pos = k;
+    size_t found = n + 1;
+    tree_.for_each_desc_from(start_key, [&](uint64_t, Value& v) {
+      if (f(v)) {
+        found = pos;
+        return false;
+      }
+      ++pos;
+      return true;
+    });
+    return found;
+  }
+
+  /// Direct access to the underlying tree (used by the ES tree, which works
+  /// with priority keys rather than ranks).
+  CountedTreap<Value>& tree() { return tree_; }
+
+ private:
+  CountedTreap<Value> tree_;
+};
+
+}  // namespace parspan

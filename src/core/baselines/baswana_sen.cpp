@@ -1,0 +1,98 @@
+#include "core/baselines/baswana_sen.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace parspan {
+
+std::vector<Edge> baswana_sen_spanner(size_t n,
+                                      const std::vector<Edge>& edges,
+                                      uint32_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> spanner;
+  // Active adjacency.
+  std::vector<std::unordered_set<VertexId>> adj(n);
+  for (const Edge& e : edges) {
+    if (e.u == e.v || e.u >= n || e.v >= n) continue;
+    adj[e.u].insert(e.v);
+    adj[e.v].insert(e.u);
+  }
+  std::vector<VertexId> cluster(n);
+  for (VertexId v = 0; v < n; ++v) cluster[v] = v;
+  std::vector<uint8_t> active(n, 1);
+  double p = std::pow(double(std::max<size_t>(n, 2)), -1.0 / double(k));
+
+  auto drop_vertex_edges_to_cluster = [&](VertexId v, VertexId c) {
+    std::vector<VertexId> doomed;
+    for (VertexId w : adj[v])
+      if (cluster[w] == c) doomed.push_back(w);
+    for (VertexId w : doomed) {
+      adj[v].erase(w);
+      adj[w].erase(v);
+    }
+  };
+
+  for (uint32_t phase = 1; phase + 1 <= k; ++phase) {
+    // Sample the surviving clusters.
+    std::unordered_set<VertexId> sampled;
+    std::unordered_set<VertexId> centers;
+    for (VertexId v = 0; v < n; ++v)
+      if (active[v]) centers.insert(cluster[v]);
+    for (VertexId c : centers)
+      if (rng.next_bool(p)) sampled.insert(c);
+
+    std::vector<VertexId> new_cluster = cluster;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      if (sampled.count(cluster[v])) continue;  // stays in its cluster
+      // Adjacent sampled cluster?
+      VertexId join = kNoVertex, via = kNoVertex;
+      for (VertexId w : adj[v]) {
+        if (sampled.count(cluster[w])) {
+          join = cluster[w];
+          via = w;
+          break;
+        }
+      }
+      if (join != kNoVertex) {
+        spanner.emplace_back(v, via);
+        new_cluster[v] = join;
+        drop_vertex_edges_to_cluster(v, join);
+      } else {
+        // One edge per adjacent cluster, then retire v.
+        std::unordered_map<VertexId, VertexId> per_cluster;
+        for (VertexId w : adj[v]) per_cluster.emplace(cluster[w], w);
+        for (auto& [c, w] : per_cluster) spanner.emplace_back(v, w);
+        std::vector<VertexId> nbrs(adj[v].begin(), adj[v].end());
+        for (VertexId w : nbrs) {
+          adj[v].erase(w);
+          adj[w].erase(v);
+        }
+        active[v] = 0;
+      }
+    }
+    cluster = std::move(new_cluster);
+  }
+  // Final phase: one edge per adjacent cluster for every surviving vertex.
+  for (VertexId v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    std::unordered_map<VertexId, VertexId> per_cluster;
+    for (VertexId w : adj[v])
+      if (cluster[w] != cluster[v]) per_cluster.emplace(cluster[w], w);
+    for (auto& [c, w] : per_cluster) {
+      spanner.emplace_back(v, w);
+      drop_vertex_edges_to_cluster(v, c);
+    }
+  }
+  // Deduplicate.
+  std::unordered_set<EdgeKey> seen;
+  std::vector<Edge> out;
+  for (const Edge& e : spanner)
+    if (seen.insert(e.key()).second) out.push_back(e);
+  return out;
+}
+
+}  // namespace parspan

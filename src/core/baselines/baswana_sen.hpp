@@ -1,0 +1,20 @@
+// Static (2k-1)-spanner of Baswana & Sen [BS07] — the classic randomized
+// clustering construction, expected size O(k · n^{1+1/k}).
+//
+// This is the recompute-from-scratch baseline of experiment E9
+// (DESIGN.md §5): a batch-dynamic structure must beat rebuilding this after
+// every batch once batches are small relative to m.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parspan {
+
+/// Computes a (2k-1)-spanner of the given graph.
+std::vector<Edge> baswana_sen_spanner(size_t n, const std::vector<Edge>& edges,
+                                      uint32_t k, uint64_t seed);
+
+}  // namespace parspan

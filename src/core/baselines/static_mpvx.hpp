@@ -1,0 +1,37 @@
+// Static (2k-1)-spanner via exponential start-time clustering — the
+// algorithm of Miller-Peng-Vladu-Xu [MPVX15] with the Elkin-Neiman [EN18]
+// analysis, exactly as recalled in the paper's Algorithm 2 (including the
+// Las Vegas resampling of lines 1-3).
+//
+// This is the *static parallel* counterpart of the dynamic structure of
+// Lemma 3.3: each vertex u draws delta_u ~ Exp(ln(10n)/k) (resampled until
+// max delta < k), vertices join the cluster of the u maximizing
+// delta_u - dist(u, v), the spanner is the union of the cluster BFS forest
+// and one edge per (vertex, adjacent-cluster) pair. Expected size
+// O(n^{1+1/k}), stretch 2k-1.
+//
+// Used as a second recompute-from-scratch baseline and as a cross-check
+// for the dynamic structure's clustering (both must produce valid
+// (2k-1)-spanners from the same ingredients).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parspan {
+
+struct MpvxResult {
+  std::vector<Edge> spanner;
+  /// Cluster center per vertex (kNoVertex for isolated vertices).
+  std::vector<VertexId> cluster;
+  /// Number of BFS rounds used (depth proxy, <= k).
+  uint32_t rounds = 0;
+};
+
+/// Computes a (2k-1)-spanner with exponential start-time clustering.
+MpvxResult mpvx_spanner(size_t n, const std::vector<Edge>& edges, uint32_t k,
+                        uint64_t seed);
+
+}  // namespace parspan

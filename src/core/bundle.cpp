@@ -1,0 +1,172 @@
+#include "core/bundle.hpp"
+
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace parspan {
+
+SpannerBundle::SpannerBundle(size_t n, const std::vector<Edge>& edges,
+                             const BundleConfig& cfg)
+    : n_(n), cfg_(cfg) {
+  for (const Edge& e : edges)
+    if (e.u != e.v && e.u < n && e.v < n) alive_.insert(e.key());
+
+  // Build levels: D_i over G minus the previous levels' H sets.
+  std::vector<Edge> remaining;
+  remaining.reserve(alive_.size());
+  for (EdgeKey ek : alive_) remaining.push_back(edge_from_key(ek));
+  levels_.reserve(cfg.t);
+  for (uint32_t i = 0; i < cfg.t; ++i) {
+    Level lvl;
+    MonotoneSpannerConfig mc;
+    mc.seed = hash_combine(cfg.seed, 0x10000 + i);
+    mc.beta = cfg.beta;
+    mc.instances = cfg.instances;
+    lvl.spanner = std::make_unique<MonotoneSpanner>(n, remaining, mc);
+    std::vector<Edge> next;
+    std::unordered_set<EdgeKey> in_h;
+    for (const Edge& e : lvl.spanner->spanner_edges()) {
+      in_h.insert(e.key());
+      auto inserted = contrib_.emplace(e.key(), i).second;
+      assert(inserted);
+      (void)inserted;
+    }
+    for (const Edge& e : remaining)
+      if (!in_h.count(e.key())) next.push_back(e);
+    levels_.push_back(std::move(lvl));
+    remaining = std::move(next);
+    if (remaining.empty()) break;
+  }
+}
+
+std::vector<Edge> SpannerBundle::bundle_edges() const {
+  std::vector<Edge> out;
+  out.reserve(contrib_.size());
+  for (auto& [ek, lvl] : contrib_) out.push_back(edge_from_key(ek));
+  return out;
+}
+
+std::vector<Edge> SpannerBundle::level_edges(size_t i) const {
+  std::vector<Edge> out = levels_[i].spanner->spanner_edges();
+  for (EdgeKey ek : levels_[i].retained) out.push_back(edge_from_key(ek));
+  return out;
+}
+
+std::vector<Edge> SpannerBundle::residual_edges() const {
+  std::vector<Edge> out;
+  for (EdgeKey ek : alive_)
+    if (!contrib_.count(ek)) out.push_back(edge_from_key(ek));
+  return out;
+}
+
+SpannerDiff SpannerBundle::delete_edges(const std::vector<Edge>& batch) {
+  // Deduplicate & filter to alive edges.
+  std::vector<Edge> global;
+  std::unordered_set<EdgeKey> global_set;
+  for (const Edge& e : batch) {
+    if (!alive_.count(e.key()) || global_set.count(e.key())) continue;
+    global_set.insert(e.key());
+    global.push_back(e);
+    alive_.erase(e.key());
+  }
+
+  std::unordered_map<EdgeKey, int32_t> delta;
+  std::vector<Edge> down = global;  // deletions to apply at this level
+  std::unordered_set<EdgeKey> down_set = global_set;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    Level& lvl = levels_[i];
+    SpannerDiff d = lvl.spanner->delete_edges(down);
+    // Edges absorbed into H_i this round; they must leave *every* deeper
+    // level, so they are appended to the accumulating `down` list.
+    std::vector<Edge> absorbed;
+    for (const Edge& e : d.removed) {
+      if (global_set.count(e.key())) {
+        // Globally deleted: leaves H_i for good.
+        assert(contrib_.count(e.key()));
+        contrib_.erase(e.key());
+        --delta[e.key()];
+      } else if (down_set.count(e.key())) {
+        // Removed because an earlier level absorbed it this batch; its
+        // contrib entry already points to that level. Not retained here.
+        assert(contrib_.count(e.key()) &&
+               contrib_.at(e.key()) < uint32_t(i));
+      } else {
+        // Still alive: retained in J_i, stays in the bundle.
+        lvl.retained.insert(e.key());
+      }
+    }
+    for (const Edge& e : d.inserted) {
+      if (lvl.retained.erase(e.key())) {
+        // Re-entered D_i's spanner from J_i: bundle membership unchanged,
+        // and it is already absent downstream.
+        continue;
+      }
+      auto it = contrib_.find(e.key());
+      if (it != contrib_.end()) {
+        // Currently held by a *deeper* level (it was alive in D_i all
+        // along): move it up to level i and evict it downstream.
+        assert(it->second > uint32_t(i));
+        it->second = uint32_t(i);
+      } else {
+        contrib_.emplace(e.key(), uint32_t(i));
+        ++delta[e.key()];
+      }
+      absorbed.push_back(e);  // must leave G_{i+1}, ..., and deeper H's
+    }
+    // J_i cleanup: edges deleted at this level leave J_i. Globally deleted
+    // ones leave the bundle; upstream-absorbed ones were remapped already.
+    for (const Edge& e : down) {
+      if (lvl.retained.erase(e.key())) {
+        if (global_set.count(e.key())) {
+          assert(contrib_.count(e.key()));
+          contrib_.erase(e.key());
+          --delta[e.key()];
+        } else {
+          assert(contrib_.count(e.key()) &&
+                 contrib_.at(e.key()) < uint32_t(i));
+        }
+      }
+    }
+    for (const Edge& e : absorbed) {
+      down.push_back(e);
+      down_set.insert(e.key());
+    }
+  }
+
+  SpannerDiff diff;
+  for (auto& [ek, d] : delta) {
+    assert(d >= -1 && d <= 1);
+    if (d > 0) diff.inserted.push_back(edge_from_key(ek));
+    if (d < 0) diff.removed.push_back(edge_from_key(ek));
+  }
+  cumulative_recourse_ += diff.inserted.size() + diff.removed.size();
+  return diff;
+}
+
+bool SpannerBundle::check_invariants() const {
+  // Per-level invariants and bundle refcount consistency.
+  std::unordered_map<EdgeKey, uint32_t> expect;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const Level& lvl = levels_[i];
+    if (!lvl.spanner->check_invariants()) return false;
+    for (const Edge& e : lvl.spanner->spanner_edges()) {
+      if (lvl.retained.count(e.key())) return false;  // J ∩ spanner = ∅
+      if (!expect.emplace(e.key(), uint32_t(i)).second)
+        return false;  // levels must be disjoint
+    }
+    for (EdgeKey ek : lvl.retained) {
+      if (!alive_.count(ek)) return false;  // J contains only alive edges
+      if (!expect.emplace(ek, uint32_t(i)).second) return false;
+    }
+  }
+  if (expect.size() != contrib_.size()) return false;
+  for (auto& [ek, lvl] : expect) {
+    auto it = contrib_.find(ek);
+    if (it == contrib_.end() || it->second != lvl) return false;
+    if (!alive_.count(ek)) return false;  // bundle ⊆ alive
+  }
+  return true;
+}
+
+}  // namespace parspan

@@ -1,0 +1,456 @@
+#include "core/cluster_spanner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace parspan {
+
+DecrementalClusterSpanner::DecrementalClusterSpanner(
+    size_t n, const std::vector<Edge>& edges,
+    const ClusterSpannerConfig& cfg)
+    : n_(n), cfg_(cfg) {
+  assert(n >= 1);
+  double beta = cfg.beta > 0 ? cfg.beta
+                             : std::log(10.0 * double(n)) / double(cfg.k);
+  double cap = cfg.delta_cap > 0 ? cfg.delta_cap : double(cfg.k);
+
+  // --- Las Vegas delta sampling (Algorithm 2 lines 1-3). ---
+  Rng rng(cfg.seed);
+  std::vector<double> delta(n);
+  while (true) {
+    double mx = 0;
+    for (size_t v = 0; v < n; ++v) {
+      delta[v] = rng.next_exponential(beta);
+      mx = std::max(mx, delta[v]);
+    }
+    if (mx < cap) break;
+  }
+  du_.resize(n);
+  std::vector<double> frac(n);
+  uint32_t maxd = 0;
+  for (size_t v = 0; v < n; ++v) {
+    du_[v] = static_cast<uint32_t>(delta[v]);
+    frac[v] = delta[v] - double(du_[v]);
+    maxd = std::max(maxd, du_[v]);
+  }
+  t_ = maxd + 1;
+
+  // --- Priority permutation: rank of the fractional part (1..n). ---
+  std::vector<VertexId> order(n);
+  for (size_t v = 0; v < n; ++v) order[v] = VertexId(v);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return frac[a] != frac[b] ? frac[a] < frac[b] : a < b;
+  });
+  priority_.resize(n);
+  for (size_t r = 0; r < n; ++r) priority_[order[r]] = uint32_t(r + 1);
+
+  // --- Deduplicate edges, build arc table. ---
+  edges_.clear();
+  edge_index_.clear();
+  for (const Edge& e : edges) {
+    if (e.u == e.v || e.u >= n || e.v >= n) continue;
+    if (edge_index_.count(e.key())) continue;
+    edge_index_[e.key()] = uint32_t(edges_.size());
+    edges_.push_back(e);
+  }
+  alive_.assign(edges_.size(), 1);
+  alive_count_ = edges_.size();
+
+  // --- Precompute the cluster fixpoint level by level. ---
+  // dist'(v) in G' is min(t - d_v, min_w dist'(w) + 1); the cluster of v is
+  // the candidate maximizing (Priority(cluster), arc_id) among the arcs that
+  // realize dist'(v). Head-start arc ids come after the 2|E| edge arcs.
+  size_t num_vp = n + t_;  // V plus path vertices p_0..p_{t-1}
+  VertexId path0 = VertexId(n);
+  auto path_vertex = [&](uint32_t j) { return VertexId(n + j); };
+  uint32_t num_edge_arcs = uint32_t(2 * edges_.size());
+  // head-start arc id for v: num_edge_arcs + (t_-1) path arcs + v
+  auto headstart_arc = [&](VertexId v) {
+    return num_edge_arcs + (t_ - 1) + v;
+  };
+
+  std::vector<uint32_t> distp(n, UINT32_MAX);
+  cluster_.assign(n, kNoVertex);
+  {
+    // Adjacency over alive edges for the fixpoint BFS.
+    std::vector<std::vector<std::pair<VertexId, uint32_t>>> adj(n);
+    for (uint32_t i = 0; i < edges_.size(); ++i) {
+      adj[edges_[i].u].push_back({edges_[i].v, 2 * i});      // arc u->v
+      adj[edges_[i].v].push_back({edges_[i].u, 2 * i + 1});  // arc v->u
+    }
+    std::vector<uint64_t> bestkey(n, 0);
+    std::vector<std::vector<VertexId>> frontier_at(t_ + 2);
+    for (VertexId v = 0; v < n; ++v)
+      frontier_at[t_ - du_[v]].push_back(v);  // head-start arrivals
+    std::vector<VertexId> frontier;
+    for (uint32_t l = 1; l <= t_; ++l) {
+      // Candidates arriving via head-start arcs.
+      std::vector<VertexId> newly;
+      for (VertexId v : frontier_at[l]) {
+        if (distp[v] == UINT32_MAX) {
+          distp[v] = l;
+          newly.push_back(v);
+          cluster_[v] = v;
+          bestkey[v] = arc_key(headstart_arc(v), v);
+        } else if (distp[v] == l) {
+          // Settled at l via an edge this same level: head-start competes.
+          uint64_t hk = arc_key(headstart_arc(v), v);
+          if (hk > bestkey[v]) {
+            bestkey[v] = hk;
+            cluster_[v] = v;
+          }
+        }
+      }
+      // Candidates arriving via edges from the (l-1)-frontier.
+      for (VertexId w : frontier) {
+        for (auto [x, arc_id] : adj[w]) {
+          if (distp[x] == UINT32_MAX) {
+            distp[x] = l;
+            newly.push_back(x);
+            cluster_[x] = cluster_[w];
+            bestkey[x] = arc_key(arc_id, cluster_[w]);
+          } else if (distp[x] == l) {
+            uint64_t kk = arc_key(arc_id, cluster_[w]);
+            if (kk > bestkey[x]) {
+              bestkey[x] = kk;
+              cluster_[x] = cluster_[w];
+            }
+          }
+        }
+      }
+      frontier = std::move(newly);
+    }
+  }
+
+  // --- Build the ES tree over G'. ---
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  std::vector<uint64_t> keys;
+  arcs.reserve(num_edge_arcs + t_ + n);
+  keys.reserve(arcs.capacity());
+  for (uint32_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    arcs.push_back({e.u, e.v});  // arc 2i: key uses Cluster(u)
+    keys.push_back(arc_key(2 * i, cluster_[e.u]));
+    arcs.push_back({e.v, e.u});  // arc 2i+1: key uses Cluster(v)
+    keys.push_back(arc_key(2 * i + 1, cluster_[e.v]));
+  }
+  for (uint32_t j = 0; j + 1 < t_; ++j) {
+    arcs.push_back({path_vertex(j), path_vertex(j + 1)});
+    keys.push_back(uint32_t(arcs.size() - 1));  // priority irrelevant
+  }
+  assert(arcs.size() == num_edge_arcs + (t_ - 1));
+  for (VertexId v = 0; v < n; ++v) {
+    arcs.push_back({path_vertex(t_ - 1 - du_[v]), v});
+    keys.push_back(arc_key(headstart_arc(v), v));
+    assert(size_t(headstart_arc(v)) == arcs.size() - 1);
+  }
+  (void)path0;
+  es_.init(num_vp, arcs, keys, path0, t_);
+
+  // The ES parent choice must reproduce the precomputed clusters.
+#ifndef NDEBUG
+  for (VertexId v = 0; v < n; ++v) {
+    assert(es_.dist(v) == distp[v]);
+    assert(cluster_from_parent(v) == cluster_[v]);
+  }
+#endif
+
+  // --- Initial contributions. ---
+  tree_contrib_.assign(n, kNoEdge);
+  groups_.assign(cfg_.intercluster ? n : 0, {});
+  for (VertexId v = 0; v < n; ++v) refresh_tree_contrib(v);
+  if (cfg_.intercluster) {
+    for (uint32_t i = 0; i < edges_.size(); ++i) {
+      const Edge& e = edges_[i];
+      add_membership(e.u, cluster_[e.v], e.v);
+      add_membership(e.v, cluster_[e.u], e.u);
+    }
+  }
+  batch_delta_.clear();  // init contributions are not a "diff"
+
+  dirty_epoch_.assign(n, 0);
+  distch_epoch_.assign(n, 0);
+}
+
+VertexId DecrementalClusterSpanner::cluster_from_parent(VertexId v) const {
+  int32_t pa = es_.parent_arc(v);
+  assert(pa != ESTree::kNoArc && "original vertices always stay in the tree");
+  VertexId src = es_.arc(pa).src;
+  return src >= n_ ? v : cluster_[src];
+}
+
+void DecrementalClusterSpanner::add_contrib(EdgeKey e) {
+  if (++contrib_[e] == 1) ++batch_delta_[e];
+}
+
+void DecrementalClusterSpanner::remove_contrib(EdgeKey e) {
+  auto it = contrib_.find(e);
+  assert(it != contrib_.end());
+  if (--it->second == 0) {
+    contrib_.erase(it);
+    --batch_delta_[e];
+  }
+}
+
+void DecrementalClusterSpanner::refresh_tree_contrib(VertexId v) {
+  EdgeKey cur = kNoEdge;
+  int32_t pa = es_.parent_arc(v);
+  if (pa != ESTree::kNoArc) {
+    const auto& arc = es_.arc(pa);
+    if (arc.src < n_) cur = edge_key(arc.src, v);
+  }
+  if (cur == tree_contrib_[v]) return;
+  if (tree_contrib_[v] != kNoEdge) remove_contrib(tree_contrib_[v]);
+  if (cur != kNoEdge) add_contrib(cur);
+  tree_contrib_[v] = cur;
+}
+
+void DecrementalClusterSpanner::add_membership(VertexId x, VertexId c,
+                                               VertexId other) {
+  auto& m = groups_[x];
+  auto it = m.find(c);
+  if (it == m.end()) {
+    Group g;
+    g.members.insert(other);
+    g.rep = other;
+    m.emplace(c, std::move(g));
+    if (c != cluster_[x]) add_contrib(edge_key(x, other));
+  } else {
+    it->second.members.insert(other);
+  }
+}
+
+void DecrementalClusterSpanner::remove_membership(VertexId x, VertexId c,
+                                                  VertexId other) {
+  auto& m = groups_[x];
+  auto it = m.find(c);
+  assert(it != m.end());
+  Group& g = it->second;
+  size_t erased = g.members.erase(other);
+  assert(erased == 1);
+  (void)erased;
+  if (g.members.empty()) {
+    if (c != cluster_[x]) remove_contrib(edge_key(x, g.rep));
+    m.erase(it);
+  } else if (g.rep == other) {
+    VertexId nr = *g.members.begin();
+    if (c != cluster_[x]) {
+      remove_contrib(edge_key(x, other));
+      add_contrib(edge_key(x, nr));
+    }
+    g.rep = nr;
+  }
+}
+
+void DecrementalClusterSpanner::flag_dirty(
+    VertexId v, std::vector<std::vector<VertexId>>& buckets) {
+  if (dirty_epoch_[v] == epoch_) return;
+  dirty_epoch_[v] = epoch_;
+  buckets[es_.dist(v)].push_back(v);
+}
+
+void DecrementalClusterSpanner::apply_cluster_change(
+    VertexId v, VertexId newc, std::vector<std::vector<VertexId>>& buckets,
+    std::vector<VertexId>& bucket_order) {
+  (void)bucket_order;
+  VertexId oldc = cluster_[v];
+  assert(newc != oldc);
+  ++cluster_change_count_;
+
+  if (cfg_.intercluster) {
+    // Eligibility flips for v's own groups: (v, oldc) becomes eligible,
+    // (v, newc) becomes ineligible (still using cluster_[v] == oldc).
+    auto& m = groups_[v];
+    auto ito = m.find(oldc);
+    if (ito != m.end()) add_contrib(edge_key(v, ito->second.rep));
+    auto itn = m.find(newc);
+    if (itn != m.end()) remove_contrib(edge_key(v, itn->second.rep));
+  }
+  cluster_[v] = newc;
+
+  // Re-key v's out-arcs: the In(w) priority of (v -> w) is
+  // Priority(Cluster(v)). Destinations at the next level are flagged for
+  // re-examination; membership of incident edges moves between groups.
+  es_.for_each_out_arc(v, [&](uint32_t a, const ESTree::Arc& arc) {
+    VertexId w = arc.dst;
+    if (w >= n_) return;  // never: original vertices only point into V
+    es_.update_arc_priority(a, arc_key(a, newc));
+    if (es_.dist(w) == es_.dist(v) + 1) flag_dirty(w, buckets);
+    if (cfg_.intercluster) {
+      remove_membership(w, oldc, v);
+      add_membership(w, newc, v);
+    }
+  });
+}
+
+SpannerDiff DecrementalClusterSpanner::delete_edges(
+    const std::vector<Edge>& batch) {
+  ++epoch_;
+  batch_delta_.clear();
+
+  // --- Step 1: kill edges; detach their InterCluster memberships using the
+  // pre-batch cluster values. ---
+  std::vector<uint32_t> arc_ids;
+  for (const Edge& e : batch) {
+    auto it = edge_index_.find(e.key());
+    if (it == edge_index_.end() || !alive_[it->second]) continue;
+    uint32_t i = it->second;
+    alive_[i] = 0;
+    --alive_count_;
+    arc_ids.push_back(2 * i);
+    arc_ids.push_back(2 * i + 1);
+    if (cfg_.intercluster) {
+      remove_membership(edges_[i].u, cluster_[edges_[i].v], edges_[i].v);
+      remove_membership(edges_[i].v, cluster_[edges_[i].u], edges_[i].u);
+    }
+  }
+
+  // --- Step 2: distance phases (Algorithm 1). ---
+  auto rep = es_.delete_arcs(arc_ids);
+  last_phases_ = rep.phases;
+
+  // --- Step 3: cluster cascade in level order. ---
+  for (VertexId v : rep.dist_changed)
+    if (v < n_) distch_epoch_[v] = epoch_;
+  std::vector<std::vector<VertexId>> buckets(t_ + 2);
+  std::vector<VertexId> bucket_order;
+  for (auto& [v, old_arc] : rep.parent_changed)
+    if (v < n_) flag_dirty(v, buckets);
+
+  for (uint32_t d = 1; d <= t_; ++d) {
+    // Buckets may grow at levels > d while processing level d.
+    for (size_t idx = 0; idx < buckets[d].size(); ++idx) {
+      VertexId v = buckets[d][idx];
+      assert(es_.dist(v) == d);
+      if (distch_epoch_[v] == epoch_)
+        es_.rescan_from_head(v);
+      else
+        es_.rescan(v);
+      refresh_tree_contrib(v);
+      VertexId newc = cluster_from_parent(v);
+      if (newc != cluster_[v])
+        apply_cluster_change(v, newc, buckets, bucket_order);
+    }
+  }
+
+  // --- Step 4: compile the net diff. ---
+  SpannerDiff diff;
+  for (auto& [ek, d] : batch_delta_) {
+    assert(d >= -1 && d <= 1);
+    if (d > 0) diff.inserted.push_back(edge_from_key(ek));
+    if (d < 0) diff.removed.push_back(edge_from_key(ek));
+  }
+  return diff;
+}
+
+std::vector<Edge> DecrementalClusterSpanner::spanner_edges() const {
+  std::vector<Edge> out;
+  out.reserve(contrib_.size());
+  for (auto& [ek, c] : contrib_) out.push_back(edge_from_key(ek));
+  return out;
+}
+
+bool DecrementalClusterSpanner::check_invariants() const {
+  if (!es_.check_invariants()) return false;
+
+  // Recompute the cluster fixpoint from the ES distances and compare.
+  std::vector<VertexId> by_dist(n_);
+  for (VertexId v = 0; v < n_; ++v) by_dist[v] = v;
+  std::sort(by_dist.begin(), by_dist.end(), [&](VertexId a, VertexId b) {
+    return es_.dist(a) < es_.dist(b);
+  });
+  std::vector<VertexId> refc(n_, kNoVertex);
+  for (VertexId v : by_dist) {
+    // Best candidate among valid in-arcs from the previous level.
+    uint64_t best = 0;
+    VertexId bc = kNoVertex;
+    // Edge arcs into v.
+    for (uint32_t i = 0; i < edges_.size(); ++i) {
+      if (!alive_[i]) continue;
+      const Edge& e = edges_[i];
+      VertexId src;
+      uint32_t a;
+      if (e.u == v) {
+        src = e.v;
+        a = 2 * i + 1;
+      } else if (e.v == v) {
+        src = e.u;
+        a = 2 * i;
+      } else {
+        continue;
+      }
+      if (es_.dist(src) + 1 != es_.dist(v)) continue;
+      uint64_t kk =
+          (static_cast<uint64_t>(priority_[refc[src]]) << 32) | a;
+      if (kk > best) {
+        best = kk;
+        bc = refc[src];
+      }
+    }
+    // Head-start arc.
+    if (t_ - du_[v] == es_.dist(v)) {
+      uint32_t a = uint32_t(2 * edges_.size()) + (t_ - 1) + v;
+      uint64_t kk = (static_cast<uint64_t>(priority_[v]) << 32) | a;
+      if (kk > best) {
+        best = kk;
+        bc = v;
+      }
+    }
+    if (bc == kNoVertex) return false;  // every vertex must be clustered
+    refc[v] = bc;
+    if (refc[v] != cluster_[v]) return false;
+  }
+
+  // Stored arc keys must match the cluster of their source.
+  for (uint32_t i = 0; i < edges_.size(); ++i) {
+    if (!alive_[i]) continue;
+    const Edge& e = edges_[i];
+    if (es_.arc(2 * i).key != arc_key(2 * i, cluster_[e.u])) return false;
+    if (es_.arc(2 * i + 1).key != arc_key(2 * i + 1, cluster_[e.v]))
+      return false;
+  }
+
+  // Rebuild expected contributions.
+  std::unordered_map<EdgeKey, uint32_t> expect;
+  for (VertexId v = 0; v < n_; ++v) {
+    int32_t pa = es_.parent_arc(v);
+    if (pa == ESTree::kNoArc) return false;
+    const auto& arc = es_.arc(pa);
+    if (arc.src < n_) {
+      if (tree_contrib_[v] != edge_key(arc.src, v)) return false;
+      ++expect[edge_key(arc.src, v)];
+    } else if (tree_contrib_[v] != kNoEdge) {
+      return false;
+    }
+  }
+  if (cfg_.intercluster) {
+    // Rebuild memberships.
+    std::vector<std::unordered_map<VertexId, std::unordered_set<VertexId>>>
+        ref_groups(n_);
+    for (uint32_t i = 0; i < edges_.size(); ++i) {
+      if (!alive_[i]) continue;
+      const Edge& e = edges_[i];
+      ref_groups[e.u][cluster_[e.v]].insert(e.v);
+      ref_groups[e.v][cluster_[e.u]].insert(e.u);
+    }
+    for (VertexId v = 0; v < n_; ++v) {
+      if (ref_groups[v].size() != groups_[v].size()) return false;
+      for (auto& [c, g] : groups_[v]) {
+        auto it = ref_groups[v].find(c);
+        if (it == ref_groups[v].end()) return false;
+        if (it->second != g.members) return false;
+        if (!g.members.count(g.rep)) return false;
+        if (c != cluster_[v]) ++expect[edge_key(v, g.rep)];
+      }
+    }
+  }
+  if (expect.size() != contrib_.size()) return false;
+  for (auto& [ek, cnt] : expect) {
+    auto it = contrib_.find(ek);
+    if (it == contrib_.end() || it->second != cnt) return false;
+  }
+  return true;
+}
+
+}  // namespace parspan

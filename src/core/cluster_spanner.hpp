@@ -1,0 +1,163 @@
+// DecrementalClusterSpanner: the batch-dynamic decremental (2k-1)-spanner of
+// Lemma 3.3, built on exponential start-time clustering [MPVX15] maintained
+// by the batch-dynamic Even-Shiloach tree of Theorem 1.2.
+//
+// Construction (paper §3.3):
+//  * every vertex u draws delta_u ~ Exp(beta) with beta = ln(10 n)/k,
+//    resampled (Las Vegas) until max_u delta_u < k;
+//  * delta_u = d_u + f_u splits into the integer part d_u and fraction f_u;
+//    Priority(v) = rank of f_v (larger fraction = higher priority);
+//  * the auxiliary digraph G' adds path vertices p_0 .. p_{t-1}
+//    (t = max d_u + 1) with arcs p_i -> p_{i+1}, a head-start arc
+//    p_{t-1-d_v} -> v per vertex, and both orientations of every edge;
+//  * an ES tree from p_0 with depth bound L = t maintains the clustering:
+//    Cluster(v) = v if v's parent is a path vertex, else Cluster(parent);
+//  * the priority key of arc (w -> v) in In(v) is
+//    Priority(Cluster(w)) * 2^32 + arc_id (distinct keys, Lemma 3.1),
+//    head-start arcs use Priority(v); thus the ES parent choice maximizes
+//    the cluster priority among min-distance candidates.
+//
+// The spanner is the union of
+//  * intra-cluster tree edges: (parent(v), v) for parents in V, and
+//  * inter-cluster representatives: one edge per nonempty InterCluster[(v,c)]
+//    group with c != Cluster(v).
+//
+// After each deletion batch the distance phases of Algorithm 1 run first;
+// then a *cluster cascade* repairs clusters in level order (DESIGN.md §3.2):
+// a vertex is re-examined only after all potential parents carry final
+// distances and final cluster priorities. Vertices whose distance changed
+// re-select from the head of In(v); distance-stable vertices use the
+// forward-only NextWith (their candidates' priorities can only drop).
+//
+// With cfg.intercluster = false the structure maintains only the forest of
+// intra-cluster tree edges — the per-instance mode of the monotone spanner
+// (Lemma 6.4), where beta is an explicit constant.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/es_tree.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace parspan {
+
+/// Net change of a spanner edge set after one update batch.
+struct SpannerDiff {
+  std::vector<Edge> inserted;
+  std::vector<Edge> removed;
+};
+
+struct ClusterSpannerConfig {
+  /// Stretch parameter: the spanner has stretch 2k-1.
+  uint32_t k = 4;
+  /// Seed for delta sampling and the priority permutation.
+  uint64_t seed = 1;
+  /// Maintain inter-cluster representative edges (true for Lemma 3.3;
+  /// false for the forest-only instances of Lemma 6.4).
+  bool intercluster = true;
+  /// Exponential rate; 0 means the paper's ln(10 n)/k.
+  double beta = 0.0;
+  /// Las Vegas resample threshold for max delta; 0 means k.
+  double delta_cap = 0.0;
+};
+
+class DecrementalClusterSpanner {
+ public:
+  DecrementalClusterSpanner(size_t n, const std::vector<Edge>& edges,
+                            const ClusterSpannerConfig& cfg);
+
+  size_t num_vertices() const { return n_; }
+  size_t alive_edges() const { return alive_count_; }
+
+  /// Current spanner size (number of edges).
+  size_t spanner_size() const { return contrib_.size(); }
+
+  /// Materializes the current spanner edge set.
+  std::vector<Edge> spanner_edges() const;
+
+  /// True iff e is currently in the spanner.
+  bool in_spanner(Edge e) const { return contrib_.count(e.key()) > 0; }
+
+  /// Deletes a batch of edges (absent/dead edges ignored); returns the net
+  /// spanner diff. Amortized work O(k log^2 n) per deleted edge.
+  SpannerDiff delete_edges(const std::vector<Edge>& batch);
+
+  /// Cluster center of v (= v itself for cluster centers).
+  VertexId cluster(VertexId v) const { return cluster_[v]; }
+
+  /// Total number of cluster reassignments across all batches (Lemma 3.6:
+  /// expected <= 2 t log n per vertex over a full deletion sequence).
+  uint64_t cluster_changes() const { return cluster_change_count_; }
+
+  /// Depth t of the auxiliary path (= ES depth bound).
+  uint32_t t() const { return t_; }
+
+  /// Priority rank of v's fractional part (1..n).
+  uint32_t priority(VertexId v) const { return priority_[v]; }
+
+  const ESTree& es() const { return es_; }
+
+  /// Number of phases executed by the last delete_edges call (depth proxy).
+  uint32_t last_phases() const { return last_phases_; }
+
+  /// Full oracle check: ES invariants, cluster fixpoint, InterCluster
+  /// membership, spanner contribution refcounts. Expensive; for tests.
+  bool check_invariants() const;
+
+ private:
+  uint64_t arc_key(uint32_t arc_id, VertexId center) const {
+    return (static_cast<uint64_t>(priority_[center]) << 32) | arc_id;
+  }
+
+  VertexId cluster_from_parent(VertexId v) const;
+  void refresh_tree_contrib(VertexId v);
+  void add_contrib(EdgeKey e);
+  void remove_contrib(EdgeKey e);
+  void add_membership(VertexId x, VertexId c, VertexId other);
+  void remove_membership(VertexId x, VertexId c, VertexId other);
+  void apply_cluster_change(VertexId v, VertexId newc,
+                            std::vector<std::vector<VertexId>>& buckets,
+                            std::vector<VertexId>& bucket_order);
+  void flag_dirty(VertexId v, std::vector<std::vector<VertexId>>& buckets);
+
+  size_t n_ = 0;
+  ClusterSpannerConfig cfg_;
+  uint32_t t_ = 1;
+
+  std::vector<uint32_t> du_;        // integer parts of delta
+  std::vector<uint32_t> priority_;  // fraction ranks, 1..n
+
+  std::vector<Edge> edges_;  // arc ids 2i (u->v), 2i+1 (v->u)
+  std::vector<uint8_t> alive_;
+  std::unordered_map<EdgeKey, uint32_t> edge_index_;
+  size_t alive_count_ = 0;
+
+  ESTree es_;
+  std::vector<VertexId> cluster_;
+  std::vector<EdgeKey> tree_contrib_;  // per-vertex tree edge, kNoEdge if none
+
+  /// InterCluster[(v, c)]: neighbors of v lying in cluster c, plus the
+  /// designated representative (paper's hash table of hash tables).
+  struct Group {
+    std::unordered_set<VertexId> members;
+    VertexId rep = kNoVertex;
+  };
+  std::vector<std::unordered_map<VertexId, Group>> groups_;
+
+  std::unordered_map<EdgeKey, uint32_t> contrib_;     // spanner refcounts
+  std::unordered_map<EdgeKey, int32_t> batch_delta_;  // diff accumulator
+
+  // Cascade scratch (epoch-stamped to keep per-batch work batch-sized).
+  std::vector<uint64_t> dirty_epoch_;
+  std::vector<uint64_t> distch_epoch_;
+  uint64_t epoch_ = 0;
+
+  uint64_t cluster_change_count_ = 0;
+  uint32_t last_phases_ = 0;
+};
+
+}  // namespace parspan

@@ -1,0 +1,323 @@
+#include "core/contraction.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace parspan {
+
+ContractionLayer::ContractionLayer(size_t n, const std::vector<Edge>& edges,
+                                   double x, uint64_t seed)
+    : n_(n), x_(std::max(2.0, x)), seed_(seed) {
+  // Fixed sample D: each vertex with probability 1/x; at least one vertex
+  // is forced into D so the contracted graph is never empty (the paper's
+  // "V' is not empty w.h.p."; the forcing only matters for tiny n).
+  next_id_.assign(n, kNoVertex);
+  Rng rng(hash_combine(seed, 0xd));
+  for (VertexId v = 0; v < n; ++v) {
+    if (rng.next_bool(1.0 / x_)) {
+      next_id_[v] = VertexId(prev_id_.size());
+      prev_id_.push_back(v);
+    }
+  }
+  if (prev_id_.empty() && n > 0) {
+    VertexId v = VertexId(rng.next_below(n));
+    next_id_[v] = 0;
+    prev_id_.push_back(v);
+  }
+  next_n_ = prev_id_.size();
+
+  adj_.assign(n, {});
+  head_.assign(n, kNoVertex);
+  head_edge_.assign(n, kNoEdge);
+
+  // Insert edges, then compute heads, then attach contributions: init is
+  // just an update() on an empty structure, but done in bulk.
+  std::vector<Edge> dedup;
+  for (const Edge& e : edges) {
+    if (e.u == e.v || e.u >= n || e.v >= n) continue;
+    if (edge_index_.count(e.key())) continue;
+    edge_index_[e.key()] = uint32_t(edges_.size());
+    EdgeRec rec;
+    rec.e = e;
+    rec.alive = true;
+    rec.key_u = fresh_entry_key(e.v);
+    rec.key_v = fresh_entry_key(e.u);
+    adj_[e.u].insert(rec.key_u, {e.v, uint32_t(edges_.size())});
+    adj_[e.v].insert(rec.key_v, {e.u, uint32_t(edges_.size())});
+    edges_.push_back(rec);
+    ++alive_count_;
+  }
+  for (VertexId v = 0; v < n; ++v) set_head(v, compute_head(v));
+  for (uint32_t eid = 0; eid < edges_.size(); ++eid) attach(eid);
+  // head-edge contributions.
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_sampled(v) || head_[v] == kNoVertex) continue;
+    head_edge_[v] = edge_key(v, head_[v]);
+    h_add(head_edge_[v]);
+  }
+  h_delta_.clear();
+  touched_pairs_.clear();
+}
+
+uint64_t ContractionLayer::fresh_entry_key(VertexId other) {
+  // Composite (unmark, rand) key: unmarked (other ∉ D) entries sort after
+  // all marked ones; the low bits keep keys distinct.
+  uint64_t unmark = is_sampled(other) ? 0 : 1;
+  uint64_t rnd = hash_combine(seed_, ++entry_counter_) >> 2;
+  return (unmark << 62) | rnd;
+}
+
+VertexId ContractionLayer::compute_head(VertexId v) {
+  if (is_sampled(v)) return v;
+  auto& t = adj_[v];
+  if (t.empty()) return kNoVertex;
+  // Minimum (unmark, rand) entry = last in descending order.
+  auto [key, entry] = t.select_desc(t.size());
+  if (key >> 62) return kNoVertex;  // min entry unmarked: no D neighbor
+  return entry->other;
+}
+
+void ContractionLayer::set_head(VertexId v, VertexId h) { head_[v] = h; }
+
+EdgeKey ContractionLayer::pair_key_of(uint32_t eid) const {
+  const EdgeRec& r = edges_[eid];
+  VertexId hu = head_[r.e.u], hv = head_[r.e.v];
+  if (hu == kNoVertex || hv == kNoVertex || hu == hv) return kNoEdge;
+  return edge_key(next_id_[hu], next_id_[hv]);
+}
+
+void ContractionLayer::note_pair_touched(EdgeKey pk) {
+  if (touched_pairs_.count(pk)) return;
+  auto it = buckets_.find(pk);
+  touched_pairs_[pk] =
+      PairSnapshot{it != buckets_.end(),
+                   it != buckets_.end() ? it->second.rep : uint32_t(0)};
+}
+
+void ContractionLayer::bucket_add(uint32_t eid) {
+  EdgeKey pk = pair_key_of(eid);
+  if (pk == kNoEdge) return;
+  note_pair_touched(pk);
+  auto [it, fresh] = buckets_.try_emplace(pk);
+  it->second.members.insert(eid);
+  if (fresh) it->second.rep = eid;
+}
+
+void ContractionLayer::bucket_remove(uint32_t eid, EdgeKey pk) {
+  if (pk == kNoEdge) return;
+  note_pair_touched(pk);
+  auto it = buckets_.find(pk);
+  assert(it != buckets_.end());
+  it->second.members.erase(eid);
+  if (it->second.members.empty()) {
+    buckets_.erase(it);
+  } else if (it->second.rep == eid) {
+    it->second.rep = *it->second.members.begin();
+  }
+}
+
+void ContractionLayer::h_add(EdgeKey ek) {
+  if (++h_contrib_[ek] == 1) ++h_delta_[ek];
+}
+
+void ContractionLayer::h_remove(EdgeKey ek) {
+  auto it = h_contrib_.find(ek);
+  assert(it != h_contrib_.end());
+  if (--it->second == 0) {
+    h_contrib_.erase(it);
+    --h_delta_[ek];
+  }
+}
+
+bool ContractionLayer::edge_in_bot(uint32_t eid) const {
+  const EdgeRec& r = edges_[eid];
+  return head_[r.e.u] == kNoVertex || head_[r.e.v] == kNoVertex;
+}
+
+void ContractionLayer::attach(uint32_t eid) {
+  if (edge_in_bot(eid)) h_add(edges_[eid].e.key());
+  bucket_add(eid);
+}
+
+void ContractionLayer::detach(uint32_t eid) {
+  if (edge_in_bot(eid)) h_remove(edges_[eid].e.key());
+  bucket_remove(eid, pair_key_of(eid));
+}
+
+void ContractionLayer::recheck_head(VertexId v) {
+  if (is_sampled(v)) return;
+  VertexId h = compute_head(v);
+  if (h == head_[v]) {
+    // Head unchanged, but the head-edge contribution may have been dropped
+    // if the head edge was deleted and re-inserted within this batch.
+    EdgeKey want = h == kNoVertex ? kNoEdge : edge_key(v, h);
+    if (head_edge_[v] != want) {
+      if (head_edge_[v] != kNoEdge) h_remove(head_edge_[v]);
+      head_edge_[v] = want;
+      if (want != kNoEdge) h_add(want);
+    }
+    return;
+  }
+  VertexId old = head_[v];
+  // Move every incident edge: bot membership and bucket key both depend on
+  // Head(v). Remove under the old head, flip, re-add under the new head.
+  std::vector<uint32_t> incident;
+  adj_[v].for_each(
+      [&](uint64_t, const AdjEntry& a) { incident.push_back(a.edge_id); });
+  for (uint32_t eid : incident) detach(eid);
+  if (head_edge_[v] != kNoEdge) {
+    h_remove(head_edge_[v]);
+    head_edge_[v] = kNoEdge;
+  }
+  set_head(v, h);
+  for (uint32_t eid : incident) attach(eid);
+  if (h != kNoVertex) {
+    head_edge_[v] = edge_key(v, h);
+    h_add(head_edge_[v]);
+  }
+}
+
+ContractionLayer::UpdateResult ContractionLayer::update(
+    const std::vector<Edge>& ins, const std::vector<Edge>& del) {
+  h_delta_.clear();
+  touched_pairs_.clear();
+  std::unordered_set<VertexId> recheck;
+
+  // --- Deletions. ---
+  for (const Edge& e : del) {
+    auto it = edge_index_.find(e.key());
+    if (it == edge_index_.end() || !edges_[it->second].alive) continue;
+    uint32_t eid = it->second;
+    EdgeRec& r = edges_[eid];
+    detach(eid);
+    adj_[r.e.u].erase(r.key_u);
+    adj_[r.e.v].erase(r.key_v);
+    r.alive = false;
+    --alive_count_;
+    // The deleted edge may carry a head-edge contribution of an endpoint;
+    // that endpoint's head necessarily changes (its min entry vanished), so
+    // recheck_head will refresh it — but remove the stale contribution
+    // first in case the new head edge coincides.
+    for (VertexId w : {r.e.u, r.e.v}) {
+      if (head_edge_[w] == r.e.key()) {
+        h_remove(head_edge_[w]);
+        head_edge_[w] = kNoEdge;
+      }
+      recheck.insert(w);
+    }
+  }
+  // --- Insertions. ---
+  for (const Edge& e : ins) {
+    if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
+    auto it = edge_index_.find(e.key());
+    uint32_t eid;
+    if (it != edge_index_.end()) {
+      if (edges_[it->second].alive) continue;  // already present
+      eid = it->second;  // resurrect dead record with fresh entries
+    } else {
+      eid = uint32_t(edges_.size());
+      edge_index_[e.key()] = eid;
+      edges_.push_back(EdgeRec{});
+      edges_[eid].e = e;
+    }
+    EdgeRec& r = edges_[eid];
+    r.alive = true;
+    ++alive_count_;
+    r.key_u = fresh_entry_key(e.v);
+    r.key_v = fresh_entry_key(e.u);
+    adj_[e.u].insert(r.key_u, {e.v, eid});
+    adj_[e.v].insert(r.key_v, {e.u, eid});
+    attach(eid);
+    recheck.insert(e.u);
+    recheck.insert(e.v);
+  }
+  // --- Head rechecks (the D4/I4/I5 procedures). ---
+  for (VertexId v : recheck) recheck_head(v);
+  // Refresh head-edge contributions for rechecked vertices whose head
+  // stayed put but whose head edge was the deleted one... (handled above:
+  // recheck_head re-adds when the head changed; if the head did NOT change
+  // but its contribution was removed because the head edge died, the head
+  // must in fact have changed — the min entry was the head edge — so this
+  // case is impossible; assert below in check_invariants.)
+
+  // --- Compile diffs. ---
+  UpdateResult res;
+  for (auto& [ek, d] : h_delta_) {
+    assert(d >= -1 && d <= 1);
+    if (d > 0) res.h_ins.push_back(edge_from_key(ek));
+    if (d < 0) res.h_del.push_back(edge_from_key(ek));
+  }
+  for (auto& [pk, snap] : touched_pairs_) {
+    auto it = buckets_.find(pk);
+    bool exists = it != buckets_.end();
+    if (snap.existed && !exists) res.next_del.push_back(edge_from_key(pk));
+    if (!snap.existed && exists) res.next_ins.push_back(edge_from_key(pk));
+    if (snap.existed && exists && snap.old_rep != it->second.rep)
+      res.rep_changed.push_back(edge_from_key(pk));
+  }
+  return res;
+}
+
+std::vector<Edge> ContractionLayer::next_edges() const {
+  std::vector<Edge> out;
+  out.reserve(buckets_.size());
+  for (auto& [pk, b] : buckets_) out.push_back(edge_from_key(pk));
+  return out;
+}
+
+Edge ContractionLayer::rep(Edge pair) const {
+  auto it = buckets_.find(pair.key());
+  assert(it != buckets_.end());
+  return edges_[it->second.rep].e;
+}
+
+std::vector<Edge> ContractionLayer::h_edges() const {
+  std::vector<Edge> out;
+  out.reserve(h_contrib_.size());
+  for (auto& [ek, c] : h_contrib_) out.push_back(edge_from_key(ek));
+  return out;
+}
+
+bool ContractionLayer::check_invariants() const {
+  // Recompute heads.
+  for (VertexId v = 0; v < n_; ++v) {
+    VertexId h =
+        const_cast<ContractionLayer*>(this)->compute_head(v);
+    if (is_sampled(v)) h = v;
+    if (h != head_[v]) return false;
+  }
+  // Recompute buckets and H from scratch.
+  std::unordered_map<EdgeKey, std::unordered_set<uint32_t>> ref_buckets;
+  std::unordered_map<EdgeKey, uint32_t> ref_h;
+  for (uint32_t eid = 0; eid < edges_.size(); ++eid) {
+    if (!edges_[eid].alive) continue;
+    EdgeKey pk = pair_key_of(eid);
+    if (pk != kNoEdge) ref_buckets[pk].insert(eid);
+    if (edge_in_bot(eid)) ++ref_h[edges_[eid].e.key()];
+  }
+  for (VertexId v = 0; v < n_; ++v) {
+    if (is_sampled(v) || head_[v] == kNoVertex) {
+      if (head_edge_[v] != kNoEdge) return false;
+      continue;
+    }
+    if (head_edge_[v] != edge_key(v, head_[v])) return false;
+    ++ref_h[head_edge_[v]];
+  }
+  if (ref_buckets.size() != buckets_.size()) return false;
+  for (auto& [pk, members] : ref_buckets) {
+    auto it = buckets_.find(pk);
+    if (it == buckets_.end()) return false;
+    if (it->second.members != members) return false;
+    if (!members.count(it->second.rep)) return false;
+  }
+  if (ref_h.size() != h_contrib_.size()) return false;
+  for (auto& [ek, c] : ref_h) {
+    auto it = h_contrib_.find(ek);
+    if (it == h_contrib_.end() || it->second != c) return false;
+  }
+  return true;
+}
+
+}  // namespace parspan

@@ -1,0 +1,320 @@
+#include "core/es_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parallel/parallel_for.hpp"
+
+namespace parspan {
+
+void ESTree::init(size_t n,
+                  const std::vector<std::pair<VertexId, VertexId>>& arcs,
+                  const std::vector<uint64_t>& keys, VertexId source,
+                  uint32_t L) {
+  assert(arcs.size() == keys.size());
+  source_ = source;
+  L_ = L;
+  arcs_.clear();
+  arcs_.reserve(arcs.size());
+  in_.assign(n, {});
+  out_.assign(n, {});
+  dist_.assign(n, L + 1);
+  scan_key_.assign(n, kHeadKey);
+  parent_arc_.assign(n, kNoArc);
+  changed_epoch_.assign(n, 0);
+  old_parent_.assign(n, kNoArc);
+  in_unew_.assign(n, 0);
+  dist_bumped_epoch_.assign(n, 0);
+  changed_list_.clear();
+  batch_epoch_ = 0;
+  unew_epoch_ = 0;
+
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    auto [u, v] = arcs[i];
+    assert(keys[i] < kHeadKey);
+    arcs_.push_back(Arc{u, v, keys[i], true});
+    out_[u].push_back(static_cast<uint32_t>(i));
+  }
+  // In-lists; built per destination (parallel across destinations would need
+  // a grouping pass; init is one-shot so a serial fill is fine here, the
+  // treap insertions dominate and are counted as work).
+  for (uint32_t a = 0; a < arcs_.size(); ++a) {
+    in_[arcs_[a].dst].insert(arcs_[a].key, a);
+    ++counters_.treap_ops;
+  }
+
+  // Bounded BFS from the source over out-arcs (Lemma 3.2).
+  dist_[source] = 0;
+  std::vector<VertexId> frontier = {source};
+  for (uint32_t level = 0; level < L && !frontier.empty(); ++level) {
+    std::vector<VertexId> next;
+    for (VertexId u : frontier) {
+      for (uint32_t a : out_[u]) {
+        VertexId w = arcs_[a].dst;
+        if (dist_[w] == L + 1) {
+          dist_[w] = level + 1;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Parent selection: NextWith from the head of each In(v) (Invariant A1).
+  std::vector<VertexId> reached;
+  for (VertexId v = 0; v < n; ++v)
+    if (v != source && dist_[v] <= L) reached.push_back(v);
+  parallel_for(0, reached.size(), [&](size_t i) {
+    VertexId v = reached[i];
+    int32_t a = next_with(v, kHeadKey);
+    assert(a != kNoArc && "BFS-reached vertex must have a parent candidate");
+    parent_arc_[v] = a;
+    scan_key_[v] = arcs_[a].key;
+  }, 256);
+}
+
+int32_t ESTree::next_with(VertexId v, uint64_t from_key) {
+  int32_t found = kNoArc;
+  uint32_t want = dist_[v] - 1;
+  uint64_t steps = 0;
+  in_[v].for_each_desc_from(from_key, [&](uint64_t key, uint32_t& a) {
+    ++steps;
+    if (arcs_[a].valid && dist_[arcs_[a].src] == want) {
+      found = static_cast<int32_t>(a);
+      return false;
+    }
+    return true;
+  });
+  counters_.scan_steps += steps;
+  return found;
+}
+
+void ESTree::note_parent_change(VertexId v) {
+  if (changed_epoch_[v] != batch_epoch_) {
+    changed_epoch_[v] = batch_epoch_;
+    old_parent_[v] = parent_arc_[v];
+    changed_list_.push_back(v);
+  }
+}
+
+ESTree::DeletionReport ESTree::delete_arcs(
+    const std::vector<uint32_t>& arc_ids) {
+  DeletionReport report;
+  ++batch_epoch_;
+
+  // --- Step 1: remove all the arcs from the data structures. ---
+  std::vector<VertexId> orphaned;  // tree-arc destinations
+  for (uint32_t a : arc_ids) {
+    if (a >= arcs_.size() || !arcs_[a].valid) continue;
+    Arc& arc = arcs_[a];
+    arc.valid = false;
+    in_[arc.dst].erase(arc.key);
+    ++counters_.treap_ops;
+    if (parent_arc_[arc.dst] == int32_t(a)) {
+      note_parent_change(arc.dst);
+      parent_arc_[arc.dst] = kNoArc;
+      orphaned.push_back(arc.dst);
+    }
+  }
+
+  // --- Step 2: each orphaned vertex advances Scan(v) with NextWith. ---
+  // Successful vertices keep their distance; failures become "pending" and
+  // will enter U at phase i = Dist(v) (pseudocode line 12).
+  std::vector<std::vector<VertexId>> pending_by_dist(L_ + 2);
+  uint32_t min_phase = L_ + 1;
+  parallel_for(0, orphaned.size(), [&](size_t idx) {
+    VertexId v = orphaned[idx];
+    int32_t a = next_with(v, scan_key_[v]);
+    if (a != kNoArc) {
+      parent_arc_[v] = a;
+      scan_key_[v] = arcs_[a].key;
+    } else {
+      scan_key_[v] = kHeadKey;  // reset for the post-bump rescan
+    }
+  }, 64);
+  for (VertexId v : orphaned) {
+    if (parent_arc_[v] == kNoArc) {
+      pending_by_dist[dist_[v]].push_back(v);
+      min_phase = std::min(min_phase, dist_[v]);
+      ++counters_.queue_pushes;
+    }
+  }
+
+  // --- Phase loop (Algorithm 1 lines 4-15). ---
+  // Members of U at phase i carry Dist = i (set at the end of phase i-1).
+  std::vector<VertexId> U;
+  if (in_unew_.size() < dist_.size()) in_unew_.assign(dist_.size(), 0);
+  size_t pending_left = 0;
+  for (auto& b : pending_by_dist) pending_left += b.size();
+
+  for (uint32_t i = min_phase; i <= L_; ++i) {
+    if (U.empty() && pending_left == 0) break;
+    ++unew_epoch_;
+    // Line 7: parallel NextWith for all U members (their Dist is i, so they
+    // seek parents at distance i-1; those distances are final by A2).
+    std::vector<uint8_t> failed(U.size(), 0);
+    parallel_for(0, U.size(), [&](size_t idx) {
+      VertexId v = U[idx];
+      int32_t a = next_with(v, scan_key_[v]);
+      if (a != kNoArc) {
+        parent_arc_[v] = a;
+        scan_key_[v] = arcs_[a].key;
+      } else {
+        failed[idx] = 1;
+      }
+    }, 64);
+    std::vector<VertexId> unew;
+    auto push_unew = [&](VertexId w) {
+      if (in_unew_[w] != unew_epoch_) {
+        in_unew_[w] = unew_epoch_;
+        unew.push_back(w);
+        ++counters_.queue_pushes;
+      }
+    };
+    for (size_t idx = 0; idx < U.size(); ++idx) {
+      if (!failed[idx]) continue;
+      VertexId v = U[idx];
+      // Lines 8-11: reset pointer, requeue v and its current tree children.
+      scan_key_[v] = kHeadKey;
+      push_unew(v);
+      for_each_child(v, [&](VertexId c, uint32_t) {
+        assert(dist_[c] == i + 1);
+        note_parent_change(c);
+        parent_arc_[c] = kNoArc;
+        // NB: children keep their Scan pointer (paper line 11 adds them to
+        // U without a reset); their skipped prefix only contains arcs whose
+        // sources have distance >= Dist(c), so no candidate is missed.
+        push_unew(c);
+      });
+    }
+    // Line 12: pending vertices at this distance join. Their distance is
+    // about to increase (line 14), so — exactly as in the scan-failure path
+    // — their current tree children become stale and must be requeued
+    // ("all descendants of v ... may potentially have an incorrect value").
+    for (VertexId v : pending_by_dist[i]) {
+      push_unew(v);
+      --pending_left;
+      for_each_child(v, [&](VertexId c, uint32_t) {
+        assert(dist_[c] == i + 1);
+        note_parent_change(c);
+        parent_arc_[c] = kNoArc;
+        push_unew(c);
+      });
+    }
+    pending_by_dist[i].clear();
+    // Lines 13-15: advance distances.
+    if (!unew.empty()) ++counters_.phases, ++report.phases;
+    for (VertexId v : unew) {
+      if (dist_[v] != i + 1) {
+        if (dist_bumped_epoch_[v] != batch_epoch_) {
+          dist_bumped_epoch_[v] = batch_epoch_;
+          report.dist_changed.push_back(v);
+        }
+      }
+      dist_[v] = i + 1;
+      if (dist_[v] > L_) {
+        // Out of the depth-L tree entirely.
+        note_parent_change(v);
+        parent_arc_[v] = kNoArc;
+        scan_key_[v] = kHeadKey;
+      }
+    }
+    if (i == L_) break;
+    U = std::move(unew);
+    // Drop vertices that fell out of the tree.
+    U.erase(std::remove_if(U.begin(), U.end(),
+                           [&](VertexId v) { return dist_[v] > L_; }),
+            U.end());
+  }
+
+  // Compile the parent-change log from the vertices touched this batch.
+  for (VertexId v : changed_list_) {
+    if (old_parent_[v] != parent_arc_[v])
+      report.parent_changed.push_back({v, old_parent_[v]});
+  }
+  changed_list_.clear();
+  return report;
+}
+
+bool ESTree::update_arc_priority(uint32_t a, uint64_t new_key) {
+  Arc& arc = arcs_[a];
+  assert(arc.valid);
+  assert(new_key < kHeadKey);
+  if (arc.key == new_key) return false;
+  // NB: while a destination's distance is stable, valid parent candidates
+  // only move toward smaller keys (paper §3.3); keys may move upward past
+  // the scan pointer only for destinations whose distance changed in the
+  // current batch — those are rescanned from the head by the cluster layer.
+  bool was_parent = parent_arc_[arc.dst] == int32_t(a);
+  in_[arc.dst].erase(arc.key);
+  arc.key = new_key;
+  in_[arc.dst].insert(new_key, a);
+  counters_.treap_ops += 2;
+  return was_parent;
+}
+
+bool ESTree::rescan(VertexId v) {
+  if (v == source_ || dist_[v] == 0 || dist_[v] > L_) return false;
+  int32_t a = next_with(v, scan_key_[v]);
+  assert(a != kNoArc &&
+         "rescan must find a parent: distances did not change");
+  if (a == parent_arc_[v] && arcs_[a].key == scan_key_[v]) return false;
+  bool changed = (a != parent_arc_[v]);
+  if (changed) parent_arc_[v] = a;
+  scan_key_[v] = arcs_[a].key;
+  return changed;
+}
+
+bool ESTree::rescan_from_head(VertexId v) {
+  if (v == source_ || dist_[v] == 0 || dist_[v] > L_) return false;
+  int32_t a = next_with(v, kHeadKey);
+  assert(a != kNoArc && "rescan_from_head must find a parent");
+  bool changed = (a != parent_arc_[v]);
+  if (changed) parent_arc_[v] = a;
+  scan_key_[v] = arcs_[a].key;
+  return changed;
+}
+
+bool ESTree::check_invariants() const {
+  size_t n = dist_.size();
+  // Recompute distances with a bounded BFS over valid arcs.
+  std::vector<uint32_t> ref(n, L_ + 1);
+  ref[source_] = 0;
+  std::vector<VertexId> frontier = {source_};
+  for (uint32_t level = 0; level < L_ && !frontier.empty(); ++level) {
+    std::vector<VertexId> next;
+    for (VertexId u : frontier)
+      for (uint32_t a : out_[u])
+        if (arcs_[a].valid && ref[arcs_[a].dst] == L_ + 1) {
+          ref[arcs_[a].dst] = level + 1;
+          next.push_back(arcs_[a].dst);
+        }
+    frontier = std::move(next);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (dist_[v] != ref[v]) return false;
+    if (v == source_ || dist_[v] > L_) {
+      if (parent_arc_[v] != kNoArc) return false;
+      continue;
+    }
+    int32_t pa = parent_arc_[v];
+    if (pa == kNoArc) return false;
+    const Arc& arc = arcs_[pa];
+    if (!arc.valid || arc.dst != v) return false;
+    if (dist_[arc.src] + 1 != dist_[v]) return false;
+    if (arc.key != scan_key_[v]) return false;
+    // A1: no valid parent candidate with a key above the scan pointer.
+    bool bad = false;
+    const_cast<CountedTreap<uint32_t>&>(in_[v]).for_each_desc(
+        [&](uint64_t key, uint32_t& aid) {
+          if (key <= scan_key_[v]) return false;
+          if (arcs_[aid].valid && dist_[arcs_[aid].src] + 1 == dist_[v])
+            bad = true;
+          return !bad;
+        });
+    if (bad) return false;
+  }
+  return true;
+}
+
+}  // namespace parspan

@@ -1,0 +1,214 @@
+#include "core/fully_dynamic_spanner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace parspan {
+
+FullyDynamicSpanner::FullyDynamicSpanner(
+    size_t n, const std::vector<Edge>& initial,
+    const FullyDynamicSpannerConfig& cfg)
+    : n_(n), cfg_(cfg) {
+  // 2^{l0} >= n^{1+1/k}.
+  double target = std::pow(double(std::max<size_t>(n, 2)),
+                           1.0 + 1.0 / double(cfg.k));
+  l0_ = 0;
+  while (std::pow(2.0, double(l0_)) < target) ++l0_;
+
+  // Deduplicated initial edges.
+  std::vector<Edge> edges;
+  for (const Edge& e : initial) {
+    if (e.u == e.v || e.u >= n || e.v >= n) continue;
+    if (index_.count(e.key())) continue;
+    index_[e.key()] = 0;  // placeholder, fixed below
+    edges.push_back(e);
+  }
+  // Smallest j with |E| <= 2^{j+l0}.
+  size_t j = 0;
+  while (capacity(j) < edges.size()) ++j;
+  ensure_parts(j);
+  if (j == 0) {
+    for (const Edge& e : edges) parts_[0].edges.insert(e.key());
+  } else {
+    parts_[j].edges.reserve(edges.size() * 2);
+    for (const Edge& e : edges) parts_[j].edges.insert(e.key());
+    ClusterSpannerConfig scfg;
+    scfg.k = cfg_.k;
+    scfg.seed = hash_combine(cfg_.seed, ++instance_counter_);
+    parts_[j].spanner =
+        std::make_unique<DecrementalClusterSpanner>(n_, edges, scfg);
+  }
+  for (const Edge& e : edges) index_[e.key()] = uint32_t(j);
+}
+
+void FullyDynamicSpanner::ensure_parts(size_t j) {
+  while (parts_.size() <= j) parts_.emplace_back();
+}
+
+size_t FullyDynamicSpanner::spanner_size() const {
+  size_t s = 0;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i == 0 || !parts_[i].spanner)
+      s += parts_[i].edges.size();  // E_0: everything is in the spanner
+    else
+      s += parts_[i].spanner->spanner_size();
+  }
+  return s;
+}
+
+std::vector<Edge> FullyDynamicSpanner::spanner_edges() const {
+  std::vector<Edge> out;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i == 0 || !parts_[i].spanner) {
+      for (EdgeKey ek : parts_[i].edges) out.push_back(edge_from_key(ek));
+    } else {
+      auto h = parts_[i].spanner->spanner_edges();
+      out.insert(out.end(), h.begin(), h.end());
+    }
+  }
+  return out;
+}
+
+void FullyDynamicSpanner::rebuild_into(size_t j, size_t lo,
+                                       const std::vector<Edge>& fresh) {
+  ensure_parts(j);
+  assert(parts_[j].edges.empty());
+  ++rebuilds_;
+  std::vector<Edge> merged = fresh;
+  for (size_t i = lo; i < j; ++i) {
+    Partition& p = parts_[i];
+    if (p.edges.empty()) {
+      p.spanner.reset();
+      continue;
+    }
+    // Current spanner contributions of the absorbed partition leave.
+    if (i == 0 || !p.spanner) {
+      for (EdgeKey ek : p.edges) delta_remove(ek);
+    } else {
+      for (const Edge& e : p.spanner->spanner_edges())
+        delta_remove(e.key());
+    }
+    for (EdgeKey ek : p.edges) merged.push_back(edge_from_key(ek));
+    p.edges.clear();
+    p.spanner.reset();
+  }
+  assert(merged.size() <= capacity(j));
+  for (const Edge& e : merged) {
+    parts_[j].edges.insert(e.key());
+    index_[e.key()] = uint32_t(j);
+  }
+  if (j == 0) {
+    // E_0 keeps everything in the spanner.
+    for (const Edge& e : merged) delta_add(e.key());
+    return;
+  }
+  ClusterSpannerConfig scfg;
+  scfg.k = cfg_.k;
+  scfg.seed = hash_combine(cfg_.seed, ++instance_counter_);
+  parts_[j].spanner =
+      std::make_unique<DecrementalClusterSpanner>(n_, merged, scfg);
+  for (const Edge& e : parts_[j].spanner->spanner_edges())
+    delta_add(e.key());
+}
+
+SpannerDiff FullyDynamicSpanner::update(const std::vector<Edge>& insertions,
+                                        const std::vector<Edge>& deletions) {
+  delta_.clear();
+
+  // --- Deletions: route to partitions through Index. ---
+  std::vector<std::vector<Edge>> per_part(parts_.size());
+  for (const Edge& e : deletions) {
+    auto it = index_.find(e.key());
+    if (it == index_.end()) continue;
+    per_part[it->second].push_back(e);
+    index_.erase(it);
+  }
+  for (size_t i = 0; i < per_part.size(); ++i) {
+    if (per_part[i].empty()) continue;
+    Partition& p = parts_[i];
+    for (const Edge& e : per_part[i]) p.edges.erase(e.key());
+    if (i == 0 || !p.spanner) {
+      for (const Edge& e : per_part[i]) delta_remove(e.key());
+    } else {
+      absorb_diff(p.spanner->delete_edges(per_part[i]));
+    }
+  }
+
+  // --- Insertions: split U into U_r ∪ U_0 ∪ ... and merge upward. ---
+  std::vector<Edge> u;
+  for (const Edge& e : insertions) {
+    if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
+    if (index_.count(e.key())) continue;  // already alive
+    index_[e.key()] = uint32_t(-1);       // reserved; set by rebuild_into
+    u.push_back(e);
+  }
+  if (!u.empty()) {
+    // Chunk sizes by the binary representation of |U|: highest first.
+    size_t remaining = u.size();
+    size_t pos = 0;
+    int bmax = 0;
+    while (capacity(bmax + 1) <= remaining) ++bmax;
+    for (int i = bmax; i >= 0; --i) {
+      size_t chunk = capacity(size_t(i));
+      if (remaining < chunk) continue;
+      std::vector<Edge> ui(u.begin() + pos, u.begin() + pos + chunk);
+      pos += chunk;
+      remaining -= chunk;
+      size_t j = size_t(i);
+      while (j < parts_.size() && !parts_[j].edges.empty()) ++j;
+      rebuild_into(j, size_t(i), ui);
+    }
+    // Remainder U_r (< 2^{l0}).
+    if (remaining > 0) {
+      std::vector<Edge> ur(u.begin() + pos, u.end());
+      ensure_parts(0);
+      if (parts_[0].edges.size() + ur.size() <= capacity(0)) {
+        for (const Edge& e : ur) {
+          parts_[0].edges.insert(e.key());
+          index_[e.key()] = 0;
+          delta_add(e.key());
+        }
+      } else {
+        size_t j = 0;
+        while (j < parts_.size() && !parts_[j].edges.empty()) ++j;
+        rebuild_into(j, 0, ur);
+      }
+    }
+  }
+
+  // --- Compile the net diff. ---
+  SpannerDiff diff;
+  for (auto& [ek, d] : delta_) {
+    assert(d >= -1 && d <= 1);
+    if (d > 0) diff.inserted.push_back(edge_from_key(ek));
+    if (d < 0) diff.removed.push_back(edge_from_key(ek));
+  }
+  return diff;
+}
+
+bool FullyDynamicSpanner::check_invariants() const {
+  size_t total = 0;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    const Partition& p = parts_[i];
+    if (p.edges.size() > capacity(i)) return false;  // Invariant B1
+    total += p.edges.size();
+    for (EdgeKey ek : p.edges) {
+      auto it = index_.find(ek);
+      if (it == index_.end() || it->second != i) return false;
+    }
+    if (i >= 1 && p.spanner) {
+      if (!p.spanner->check_invariants()) return false;
+      // The instance's alive edges must be exactly p.edges.
+      if (p.spanner->alive_edges() != p.edges.size()) return false;
+      for (const Edge& e : p.spanner->spanner_edges())
+        if (!p.edges.count(e.key())) return false;
+    }
+    if (i >= 1 && !p.spanner && !p.edges.empty()) return false;
+  }
+  return total == index_.size();
+}
+
+}  // namespace parspan

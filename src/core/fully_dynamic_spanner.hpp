@@ -1,0 +1,106 @@
+// FullyDynamicSpanner: the fully-dynamic (2k-1)-spanner of Theorem 1.1,
+// obtained from the decremental structure of Lemma 3.3 via the
+// Bentley-Saxe-style reduction of [BS80, BS08] (paper §3.4).
+//
+// Edges are kept in a partition E = E_0 ∪ E_1 ∪ ... ∪ E_b with
+//
+//   Invariant B1:  |E_i| <= 2^{i + l0},   2^{l0} >= n^{1+1/k}.
+//
+// E_0 is maintained trivially (all of its edges are in the spanner; its
+// capacity matches the target spanner size). Every other E_i runs its own
+// DecrementalClusterSpanner. By Observation 3.7 (spanners are decomposable)
+// the union of the per-partition spanners is a (2k-1)-spanner of G.
+//
+// Batch insertion U splits into U_r ∪ U_0 ∪ ... ∪ U_b with |U_i| = 2^{l0+i}
+// or empty (determined by the binary representation of |U|); each nonempty
+// U_i is merged with E_i..E_{j-1} into the first empty slot E_j (j >= i),
+// rebuilding one decremental instance there. Deletions are routed to their
+// partition through the Index hash table.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cluster_spanner.hpp"
+#include "util/types.hpp"
+
+namespace parspan {
+
+struct FullyDynamicSpannerConfig {
+  /// Stretch parameter: the spanner has stretch 2k-1.
+  uint32_t k = 4;
+  /// Base seed; each rebuilt decremental instance derives a fresh stream.
+  uint64_t seed = 1;
+};
+
+class FullyDynamicSpanner {
+ public:
+  FullyDynamicSpanner(size_t n, const std::vector<Edge>& initial,
+                      const FullyDynamicSpannerConfig& cfg);
+
+  size_t num_vertices() const { return n_; }
+  size_t num_edges() const { return index_.size(); }
+  size_t spanner_size() const;
+  std::vector<Edge> spanner_edges() const;
+  bool has_edge(Edge e) const { return index_.count(e.key()) > 0; }
+
+  /// Applies one batch of updates (deletions first, then insertions;
+  /// duplicates and no-ops are filtered). Returns the net spanner diff.
+  SpannerDiff update(const std::vector<Edge>& insertions,
+                     const std::vector<Edge>& deletions);
+
+  /// Convenience wrappers.
+  SpannerDiff insert_edges(const std::vector<Edge>& ins) {
+    return update(ins, {});
+  }
+  SpannerDiff delete_edges(const std::vector<Edge>& del) {
+    return update({}, del);
+  }
+
+  /// Number of partitions currently allocated.
+  size_t num_partitions() const { return parts_.size(); }
+
+  /// Number of decremental-instance rebuilds so far (amortization witness).
+  uint64_t rebuilds() const { return rebuilds_; }
+
+  /// Oracle: Invariant B1, Index consistency, sub-structure invariants,
+  /// and spanner-union consistency. Expensive; for tests.
+  bool check_invariants() const;
+
+ private:
+  struct Partition {
+    std::unordered_set<EdgeKey> edges;  // alive edges assigned here
+    std::unique_ptr<DecrementalClusterSpanner> spanner;  // null for E_0
+  };
+
+  /// Capacity 2^{i+l0} of partition i.
+  size_t capacity(size_t i) const { return size_t{1} << (i + l0_); }
+
+  void ensure_parts(size_t j);
+
+  /// Rebuilds partition j from the union of `fresh` edges and partitions
+  /// lo..j-1 (which are emptied). Accounts all spanner membership changes
+  /// into delta_.
+  void rebuild_into(size_t j, size_t lo, const std::vector<Edge>& fresh);
+
+  void delta_add(EdgeKey e) { ++delta_[e]; }
+  void delta_remove(EdgeKey e) { --delta_[e]; }
+  void absorb_diff(const SpannerDiff& d) {
+    for (const Edge& e : d.inserted) delta_add(e.key());
+    for (const Edge& e : d.removed) delta_remove(e.key());
+  }
+
+  size_t n_ = 0;
+  FullyDynamicSpannerConfig cfg_;
+  uint32_t l0_ = 0;
+  std::vector<Partition> parts_;
+  std::unordered_map<EdgeKey, uint32_t> index_;  // alive edge -> partition
+  std::unordered_map<EdgeKey, int32_t> delta_;   // per-batch diff
+  uint64_t rebuilds_ = 0;
+  uint64_t instance_counter_ = 0;  // fresh seeds for rebuilt instances
+};
+
+}  // namespace parspan

@@ -1,0 +1,86 @@
+#include "core/mpx_spanner.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace parspan {
+
+MonotoneSpanner::MonotoneSpanner(size_t n, const std::vector<Edge>& edges,
+                                 const MonotoneSpannerConfig& cfg)
+    : n_(n) {
+  uint32_t count = cfg.instances;
+  if (count == 0)
+    count = 3 * uint32_t(std::ceil(std::log2(double(std::max<size_t>(n, 2))))) +
+            2;
+  // Resample cap 10 ln(n)/beta keeps the path length t = O(log n) and is
+  // exceeded with probability <= n^{-9} (paper §6.2).
+  double cap =
+      10.0 * std::log(double(std::max<size_t>(n, 2))) / cfg.beta + 1.0;
+  inst_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ClusterSpannerConfig c;
+    c.k = 1;  // unused: beta and cap are explicit
+    c.beta = cfg.beta;
+    c.delta_cap = cap;
+    c.intercluster = false;
+    c.seed = hash_combine(cfg.seed, i);
+    inst_.push_back(std::make_unique<DecrementalClusterSpanner>(n, edges, c));
+    stretch_bound_ =
+        std::max(stretch_bound_, 2 * (inst_.back()->t() - 1) + 1);
+    for (const Edge& e : inst_.back()->spanner_edges()) ++contrib_[e.key()];
+  }
+}
+
+size_t MonotoneSpanner::alive_edges() const {
+  return inst_.empty() ? 0 : inst_[0]->alive_edges();
+}
+
+std::vector<Edge> MonotoneSpanner::spanner_edges() const {
+  std::vector<Edge> out;
+  out.reserve(contrib_.size());
+  for (auto& [ek, c] : contrib_) out.push_back(edge_from_key(ek));
+  return out;
+}
+
+SpannerDiff MonotoneSpanner::delete_edges(const std::vector<Edge>& batch) {
+  std::unordered_map<EdgeKey, int32_t> delta;
+  for (auto& inst : inst_) {
+    SpannerDiff d = inst->delete_edges(batch);
+    cumulative_recourse_ += d.inserted.size() + d.removed.size();
+    for (const Edge& e : d.inserted)
+      if (++contrib_[e.key()] == 1) ++delta[e.key()];
+    for (const Edge& e : d.removed) {
+      auto it = contrib_.find(e.key());
+      assert(it != contrib_.end());
+      if (--it->second == 0) {
+        contrib_.erase(it);
+        --delta[e.key()];
+      }
+    }
+  }
+  SpannerDiff diff;
+  for (auto& [ek, d] : delta) {
+    assert(d >= -1 && d <= 1);
+    if (d > 0) diff.inserted.push_back(edge_from_key(ek));
+    if (d < 0) diff.removed.push_back(edge_from_key(ek));
+  }
+  return diff;
+}
+
+bool MonotoneSpanner::check_invariants() const {
+  std::unordered_map<EdgeKey, uint32_t> expect;
+  for (auto& inst : inst_) {
+    if (!inst->check_invariants()) return false;
+    for (const Edge& e : inst->spanner_edges()) ++expect[e.key()];
+  }
+  if (expect.size() != contrib_.size()) return false;
+  for (auto& [ek, c] : expect) {
+    auto it = contrib_.find(ek);
+    if (it == contrib_.end() || it->second != c) return false;
+  }
+  return true;
+}
+
+}  // namespace parspan

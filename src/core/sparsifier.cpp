@@ -1,0 +1,354 @@
+#include "core/sparsifier.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace parspan {
+
+namespace {
+
+/// Nets raw weighted-diff events by (edge, weight) pair.
+WeightedDiff net_weighted(
+    const std::vector<std::pair<WeightedEdge, int>>& events) {
+  std::map<std::pair<EdgeKey, uint64_t>, int> acc;
+  for (const auto& [we, sgn] : events) {
+    uint64_t wbits;
+    std::memcpy(&wbits, &we.w, sizeof(wbits));
+    acc[{we.e.key(), wbits}] += sgn;
+  }
+  WeightedDiff out;
+  for (const auto& [kw, c] : acc) {
+    if (c == 0) continue;
+    double w;
+    std::memcpy(&w, &kw.second, sizeof(w));
+    WeightedEdge we{edge_from_key(kw.first), w};
+    assert(c == 1 || c == -1);
+    if (c > 0) out.inserted.push_back(we);
+    else out.removed.push_back(we);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DecrementalSparsifier
+// ---------------------------------------------------------------------------
+
+DecrementalSparsifier::DecrementalSparsifier(size_t n,
+                                             const std::vector<Edge>& edges,
+                                             const SparsifierConfig& cfg)
+    : n_(n), cfg_(cfg) {
+  coin_seed_ = hash_combine(cfg.seed, 0xc01);
+  uint32_t max_stages = cfg.max_stages;
+  if (max_stages == 0) {
+    size_t m = std::max<size_t>(edges.size(), 2);
+    max_stages = uint32_t(std::ceil(std::log2(double(m)))) + 1;
+  }
+  std::vector<Edge> cur;
+  std::unordered_set<EdgeKey> seen;
+  for (const Edge& e : edges) {
+    if (e.u == e.v || e.u >= n || e.v >= n) continue;
+    if (seen.insert(e.key()).second) cur.push_back(e);
+  }
+  for (uint32_t j = 0; j < max_stages; ++j) {
+    if (cur.size() <= cfg.min_stage_edges) break;
+    BundleConfig bc;
+    bc.t = cfg.t;
+    bc.seed = hash_combine(cfg.seed, 0xb000 + j);
+    bc.beta = cfg.beta;
+    bc.instances = cfg.instances;
+    stages_.push_back(std::make_unique<SpannerBundle>(n, cur, bc));
+    std::vector<Edge> next;
+    for (const Edge& e : stages_.back()->residual_edges())
+      if (coin(e.key(), j)) next.push_back(e);
+    cur = std::move(next);
+  }
+  for (const Edge& e : cur) final_.insert(e.key());
+}
+
+bool DecrementalSparsifier::coin(EdgeKey ek, uint32_t stage) const {
+  uint64_t h = hash_combine(coin_seed_, ek * 64 + stage);
+  return double(h >> 11) * 0x1.0p-53 < cfg_.sample_rate;
+}
+
+double DecrementalSparsifier::stage_weight(uint32_t stage) const {
+  // Edges of stage j carry weight (1/rate)^j; the final residue carries
+  // (1/rate)^{#stages}. With rate = 1/4 this is the paper's 4^j.
+  return std::pow(1.0 / cfg_.sample_rate, double(stage));
+}
+
+size_t DecrementalSparsifier::size() const {
+  size_t s = final_.size();
+  for (const auto& b : stages_) s += b->bundle_size();
+  return s;
+}
+
+size_t DecrementalSparsifier::alive_edges() const {
+  return stages_.empty() ? final_.size() : stages_[0]->alive_edges();
+}
+
+std::vector<WeightedEdge> DecrementalSparsifier::sparsifier_edges() const {
+  std::vector<WeightedEdge> out;
+  out.reserve(size());
+  for (uint32_t j = 0; j < stages_.size(); ++j) {
+    double w = stage_weight(j);
+    for (const Edge& e : stages_[j]->bundle_edges()) out.push_back({e, w});
+  }
+  double wf = stage_weight(uint32_t(stages_.size()));
+  for (EdgeKey ek : final_) out.push_back({edge_from_key(ek), wf});
+  return out;
+}
+
+WeightedDiff DecrementalSparsifier::delete_edges(
+    const std::vector<Edge>& batch) {
+  std::vector<std::pair<WeightedEdge, int>> events;
+  std::vector<Edge> del = batch;
+  for (uint32_t j = 0; j < stages_.size(); ++j) {
+    SpannerDiff d = stages_[j]->delete_edges(del);
+    double w = stage_weight(j);
+    for (const Edge& e : d.removed) events.push_back({{e, w}, -1});
+    for (const Edge& e : d.inserted) events.push_back({{e, w}, +1});
+    // Propagate: deletions that survive the coin, plus edges newly absorbed
+    // into B_j (they leave G_{j+1} and beyond).
+    std::vector<Edge> next;
+    for (const Edge& e : del)
+      if (coin(e.key(), j)) next.push_back(e);
+    for (const Edge& e : d.inserted)
+      if (coin(e.key(), j)) next.push_back(e);
+    del = std::move(next);
+  }
+  double wf = stage_weight(uint32_t(stages_.size()));
+  for (const Edge& e : del)
+    if (final_.erase(e.key())) events.push_back({{e, wf}, -1});
+  return net_weighted(events);
+}
+
+bool DecrementalSparsifier::check_invariants() const {
+  for (const auto& b : stages_)
+    if (!b->check_invariants()) return false;
+  // Stage universes nest: stage j+1 alive ⊆ stage j residual ∩ coin_j.
+  for (size_t j = 0; j + 1 < stages_.size(); ++j) {
+    std::unordered_set<EdgeKey> resid;
+    for (const Edge& e : stages_[j]->residual_edges())
+      resid.insert(e.key());
+    std::unordered_set<EdgeKey> deeper;
+    for (const Edge& e : stages_[j + 1]->bundle_edges())
+      deeper.insert(e.key());
+    for (const Edge& e : stages_[j + 1]->residual_edges())
+      deeper.insert(e.key());
+    for (EdgeKey ek : deeper) {
+      if (!resid.count(ek)) return false;
+      if (!coin(ek, uint32_t(j))) return false;
+    }
+  }
+  if (!stages_.empty()) {
+    size_t last = stages_.size() - 1;
+    std::unordered_set<EdgeKey> resid;
+    for (const Edge& e : stages_[last]->residual_edges())
+      resid.insert(e.key());
+    for (EdgeKey ek : final_) {
+      if (!resid.count(ek)) return false;
+      if (!coin(ek, uint32_t(last))) return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FullyDynamicSparsifier (Theorem 1.6)
+// ---------------------------------------------------------------------------
+
+FullyDynamicSparsifier::FullyDynamicSparsifier(
+    size_t n, const std::vector<Edge>& initial,
+    const FullyDynamicSparsifierConfig& cfg)
+    : n_(n), cfg_(cfg) {
+  // Invariant B2: 2^{l0} >= n.
+  l0_ = 0;
+  while ((size_t{1} << l0_) < std::max<size_t>(n, 2)) ++l0_;
+  std::vector<Edge> edges;
+  for (const Edge& e : initial) {
+    if (e.u == e.v || e.u >= n || e.v >= n) continue;
+    if (index_.count(e.key())) continue;
+    index_[e.key()] = 0;
+    edges.push_back(e);
+  }
+  size_t j = 0;
+  while (capacity(j) < edges.size()) ++j;
+  ensure_parts(j);
+  for (const Edge& e : edges) {
+    parts_[j].edges.insert(e.key());
+    index_[e.key()] = uint32_t(j);
+  }
+  if (j > 0 && !edges.empty()) {
+    SparsifierConfig sc = cfg_.stage;
+    sc.seed = hash_combine(cfg_.seed, ++instance_counter_);
+    parts_[j].sp = std::make_unique<DecrementalSparsifier>(n_, edges, sc);
+  }
+}
+
+void FullyDynamicSparsifier::ensure_parts(size_t j) {
+  while (parts_.size() <= j) parts_.emplace_back();
+}
+
+size_t FullyDynamicSparsifier::size() const {
+  size_t s = 0;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i == 0 || !parts_[i].sp)
+      s += parts_[i].edges.size();
+    else
+      s += parts_[i].sp->size();
+  }
+  return s;
+}
+
+std::vector<WeightedEdge> FullyDynamicSparsifier::sparsifier_edges() const {
+  std::vector<WeightedEdge> out;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i == 0 || !parts_[i].sp) {
+      for (EdgeKey ek : parts_[i].edges)
+        out.push_back({edge_from_key(ek), 1.0});
+    } else {
+      auto h = parts_[i].sp->sparsifier_edges();
+      out.insert(out.end(), h.begin(), h.end());
+    }
+  }
+  return out;
+}
+
+void FullyDynamicSparsifier::rebuild_into(size_t j, size_t lo,
+                                          const std::vector<Edge>& fresh,
+                                          WeightedDiff& diff) {
+  ensure_parts(j);
+  assert(parts_[j].edges.empty());
+  std::vector<Edge> merged = fresh;
+  for (size_t i = lo; i < j; ++i) {
+    Partition& p = parts_[i];
+    if (p.edges.empty()) {
+      p.sp.reset();
+      continue;
+    }
+    if (i == 0 || !p.sp) {
+      for (EdgeKey ek : p.edges)
+        diff.removed.push_back({edge_from_key(ek), 1.0});
+    } else {
+      auto h = p.sp->sparsifier_edges();
+      diff.removed.insert(diff.removed.end(), h.begin(), h.end());
+    }
+    for (EdgeKey ek : p.edges) merged.push_back(edge_from_key(ek));
+    p.edges.clear();
+    p.sp.reset();
+  }
+  assert(merged.size() <= capacity(j));
+  for (const Edge& e : merged) {
+    parts_[j].edges.insert(e.key());
+    index_[e.key()] = uint32_t(j);
+  }
+  if (j == 0) {
+    for (const Edge& e : merged) diff.inserted.push_back({e, 1.0});
+    return;
+  }
+  SparsifierConfig sc = cfg_.stage;
+  sc.seed = hash_combine(cfg_.seed, ++instance_counter_);
+  parts_[j].sp = std::make_unique<DecrementalSparsifier>(n_, merged, sc);
+  auto h = parts_[j].sp->sparsifier_edges();
+  diff.inserted.insert(diff.inserted.end(), h.begin(), h.end());
+}
+
+WeightedDiff FullyDynamicSparsifier::update(
+    const std::vector<Edge>& insertions, const std::vector<Edge>& deletions) {
+  std::vector<std::pair<WeightedEdge, int>> events;
+  WeightedDiff work;
+
+  // Deletions routed through Index.
+  std::vector<std::vector<Edge>> per_part(parts_.size());
+  for (const Edge& e : deletions) {
+    auto it = index_.find(e.key());
+    if (it == index_.end()) continue;
+    per_part[it->second].push_back(e);
+    index_.erase(it);
+  }
+  for (size_t i = 0; i < per_part.size(); ++i) {
+    if (per_part[i].empty()) continue;
+    Partition& p = parts_[i];
+    for (const Edge& e : per_part[i]) p.edges.erase(e.key());
+    if (i == 0 || !p.sp) {
+      for (const Edge& e : per_part[i]) work.removed.push_back({e, 1.0});
+    } else {
+      WeightedDiff d = p.sp->delete_edges(per_part[i]);
+      work.inserted.insert(work.inserted.end(), d.inserted.begin(),
+                           d.inserted.end());
+      work.removed.insert(work.removed.end(), d.removed.begin(),
+                          d.removed.end());
+    }
+  }
+
+  // Insertions: Bentley-Saxe merge (as in Theorem 1.1, with B2 capacities).
+  std::vector<Edge> u;
+  for (const Edge& e : insertions) {
+    if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
+    if (index_.count(e.key())) continue;
+    index_[e.key()] = uint32_t(-1);
+    u.push_back(e);
+  }
+  if (!u.empty()) {
+    size_t remaining = u.size(), pos = 0;
+    int bmax = 0;
+    while (capacity(size_t(bmax) + 1) <= remaining) ++bmax;
+    for (int i = bmax; i >= 0; --i) {
+      size_t chunk = capacity(size_t(i));
+      if (remaining < chunk) continue;
+      std::vector<Edge> ui(u.begin() + pos, u.begin() + pos + chunk);
+      pos += chunk;
+      remaining -= chunk;
+      size_t j = size_t(i);
+      while (j < parts_.size() && !parts_[j].edges.empty()) ++j;
+      rebuild_into(j, size_t(i), ui, work);
+    }
+    if (remaining > 0) {
+      std::vector<Edge> ur(u.begin() + pos, u.end());
+      ensure_parts(0);
+      if (parts_[0].edges.size() + ur.size() <= capacity(0)) {
+        for (const Edge& e : ur) {
+          parts_[0].edges.insert(e.key());
+          index_[e.key()] = 0;
+          work.inserted.push_back({e, 1.0});
+        }
+      } else {
+        size_t j = 0;
+        while (j < parts_.size() && !parts_[j].edges.empty()) ++j;
+        rebuild_into(j, 0, ur, work);
+      }
+    }
+  }
+
+  for (const WeightedEdge& we : work.inserted) events.push_back({we, +1});
+  for (const WeightedEdge& we : work.removed) events.push_back({we, -1});
+  return net_weighted(events);
+}
+
+bool FullyDynamicSparsifier::check_invariants() const {
+  size_t total = 0;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    const Partition& p = parts_[i];
+    if (p.edges.size() > capacity(i)) return false;  // Invariant B2
+    total += p.edges.size();
+    for (EdgeKey ek : p.edges) {
+      auto it = index_.find(ek);
+      if (it == index_.end() || it->second != i) return false;
+    }
+    if (i >= 1 && p.sp) {
+      if (!p.sp->check_invariants()) return false;
+      if (p.sp->alive_edges() != p.edges.size()) return false;
+    }
+    if (i >= 1 && !p.sp && !p.edges.empty()) return false;
+  }
+  return total == index_.size();
+}
+
+}  // namespace parspan

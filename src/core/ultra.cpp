@@ -1,0 +1,501 @@
+#include "core/ultra.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+#include "util/rng.hpp"
+
+namespace parspan {
+
+UltraSparseSpanner::UltraSparseSpanner(size_t n,
+                                       const std::vector<Edge>& edges,
+                                       const UltraConfig& cfg)
+    : n_(n), cfg_(cfg) {
+  uint32_t x = std::max(2u, cfg.x);
+  T_ = uint32_t(
+      std::ceil(10.0 * double(x) * std::max(1.0, std::log2(double(x)))));
+  Rng rng(hash_combine(cfg.seed, 0x17a));
+  sampled_.assign(n, 0);
+  rand_.assign(n, 0);
+  bool any = false;
+  for (VertexId v = 0; v < n; ++v) {
+    sampled_[v] = rng.next_bool(1.0 / double(x)) ? 1 : 0;
+    any |= sampled_[v];
+    rand_[v] = hash_combine(cfg.seed, 0x9a0 + v);
+  }
+  if (!any && n > 0) sampled_[rng.next_below(n)] = 1;
+
+  adj_.assign(n, {});
+  for (const Edge& e : edges) {
+    if (e.u == e.v || e.u >= n || e.v >= n) continue;
+    if (!alive_.insert(e.key()).second) continue;
+    adj_[e.u].insert(e.v);
+    adj_[e.v].insert(e.u);
+  }
+  alive_count_ = alive_.size();
+
+  // Heads: heavy/sampled first, then light (Algorithm 5 reads heavy heads).
+  head_.assign(n, kBot);
+  par_edge_.assign(n, kNoEdge);
+  for (VertexId v = 0; v < n; ++v)
+    if (sampled_[v] || heavy(v)) head_[v] = compute_head(v).head;
+  std::vector<HeadResult> light_res(n);
+  for (VertexId v = 0; v < n; ++v)
+    if (!sampled_[v] && !heavy(v)) light_res[v] = compute_head(v);
+  for (VertexId v = 0; v < n; ++v)
+    if (!sampled_[v] && !heavy(v)) head_[v] = light_res[v].head;
+
+  // H1 parent edges (recompute par for heavy too) + buckets + H2 edges.
+  h2_ = std::make_unique<SmallComponentForest>(n);
+  std::vector<Edge> h2_init;
+  for (EdgeKey ek : alive_) {
+    Edge e = edge_from_key(ek);
+    attach(e);
+    if (edge_in_h2(e)) h2_init.push_back(e);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    HeadResult hr = (!sampled_[v] && !heavy(v)) ? light_res[v]
+                                                : compute_head(v);
+    assert(hr.head == head_[v]);
+    if (hr.head != kBot && hr.head != v) {
+      assert(hr.par != kNoVertex);
+      par_edge_[v] = edge_key(v, hr.par);
+    }
+  }
+  h2_->update(h2_init, {});
+
+  // Next-level structure over the contracted graph (vertex set = V).
+  SparseSpannerConfig nc = cfg.next;
+  nc.seed = hash_combine(cfg.seed, 0x4e7);
+  std::vector<Edge> pairs;
+  pairs.reserve(buckets_.size());
+  for (auto& [pk, b] : buckets_) pairs.push_back(edge_from_key(pk));
+  next_ = std::make_unique<SparseSpanner>(n, pairs, nc);
+
+  // Compose S = H1 ∪ forest(H2) ∪ rep(S_next).
+  for (VertexId v = 0; v < n; ++v)
+    if (par_edge_[v] != kNoEdge) s_mem_.insert(par_edge_[v]);
+  for (const Edge& e : h2_->forest_edges()) {
+    bool fresh = s_mem_.insert(e.key()).second;
+    assert(fresh);
+    (void)fresh;
+  }
+  for (const Edge& p : next_->spanner_edges()) {
+    EdgeKey rep = buckets_.at(p.key()).rep;
+    used_rep_[p.key()] = rep;
+    bool fresh = s_mem_.insert(rep).second;
+    assert(fresh);
+    (void)fresh;
+  }
+  touched_pairs_.clear();
+}
+
+uint32_t UltraSparseSpanner::stretch_bound() const {
+  // Lemma 5.1: 21 x log x (L+1); we use the implemented radius T_ directly:
+  // 2T (H2 / intra-cluster detours) per hop of the next-level spanner.
+  return (2 * T_ + 1) * (next_->stretch_bound() + 1) +
+         next_->stretch_bound();
+}
+
+UltraSparseSpanner::HeadResult UltraSparseSpanner::compute_head(
+    VertexId v) const {
+  HeadResult hr;
+  if (sampled_[v]) {
+    hr.head = v;
+    return hr;
+  }
+  if (heavy(v)) {
+    // Sampled neighbor with minimum rand; else self (v joins D').
+    VertexId best = kNoVertex;
+    for (VertexId w : adj_[v])
+      if (sampled_[w] && (best == kNoVertex || rand_[w] < rand_[best]))
+        best = w;
+    hr.head = best == kNoVertex ? v : best;
+    hr.par = best;
+    return hr;
+  }
+  // Algorithm 5: bounded BFS of radius T_, no branching through heavy
+  // vertices; early exit once deeper levels cannot beat the best candidate.
+  std::unordered_map<VertexId, uint32_t> dist;
+  std::unordered_map<VertexId, VertexId> par;  // BFS parent, toward v
+  std::vector<VertexId> frontier{v};
+  dist[v] = 0;
+  // Candidate = (distance, rand, center, realizing vertex).
+  uint32_t bd = UINT32_MAX;
+  uint64_t br = 0;
+  VertexId bc = kNoVertex, bw = kNoVertex;
+  auto offer = [&](uint32_t d, VertexId center, VertexId via) {
+    if (d > T_) return;
+    if (d < bd || (d == bd && rand_[center] < br)) {
+      bd = d;
+      br = rand_[center];
+      bc = center;
+      bw = via;
+    }
+  };
+  for (uint32_t level = 0; !frontier.empty(); ++level) {
+    // Examine this level's vertices for candidates.
+    for (VertexId w : frontier) {
+      if (!heavy(w)) {
+        if (sampled_[w]) offer(level, w, w);
+      } else {
+        VertexId hw = head_[w];
+        assert(hw != kBot);
+        auto it = dist.find(hw);
+        if (it != dist.end())
+          offer(it->second, hw, w);  // head visited: exact distance
+        else
+          offer(level + 1, hw, w);  // assume Dist(w) + 1
+      }
+    }
+    if (level >= T_ || level >= bd) break;  // deeper cannot win
+    std::vector<VertexId> next;
+    for (VertexId w : frontier) {
+      if (heavy(w)) continue;  // no branching through heavy vertices
+      for (VertexId z : adj_[w]) {
+        if (dist.count(z)) continue;
+        dist[z] = level + 1;
+        par[z] = w;
+        next.push_back(z);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (bc != kNoVertex) {
+    hr.head = bc;
+    // Parent: first hop from v toward the realizing vertex bw (== the head
+    // itself when adjacent). bw != v: v is light and unsampled, so it never
+    // offers at level 0.
+    VertexId walk = bw;
+    while (par.at(walk) != v) walk = par.at(walk);
+    hr.par = walk;
+    return hr;
+  }
+  // No candidate: every visited vertex is light and unsampled, so the BFS
+  // explored the component freely. The paper's rule: ⊥ iff the component
+  // has at most 10 x log x vertices (a radius-truncated BFS has visited
+  // more than T_ of them), else v stays its own unclustered vertex.
+  hr.head = dist.size() <= size_t(T_) ? kBot : v;
+  return hr;
+}
+
+std::vector<VertexId> UltraSparseSpanner::light_need_recompute(
+    const std::vector<VertexId>& seeds) const {
+  // Algorithm 6: BFS of radius T_ from the seeds, branching through light
+  // vertices and through (heavy) seeds.
+  std::unordered_set<VertexId> in_r(seeds.begin(), seeds.end());
+  std::unordered_set<VertexId> visited(seeds.begin(), seeds.end());
+  std::vector<VertexId> frontier = seeds;
+  for (uint32_t level = 1; level <= T_ && !frontier.empty(); ++level) {
+    std::vector<VertexId> next;
+    for (VertexId w : frontier) {
+      if (heavy(w) && !in_r.count(w)) continue;
+      for (VertexId z : adj_[w]) {
+        if (visited.insert(z).second) next.push_back(z);
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<VertexId> out;
+  for (VertexId w : visited)
+    if (!heavy(w) && !sampled_[w]) out.push_back(w);
+  return out;
+}
+
+EdgeKey UltraSparseSpanner::pair_key_of(Edge e) const {
+  VertexId hu = head_[e.u], hv = head_[e.v];
+  if (hu == kBot || hv == kBot || hu == hv) return kNoEdge;
+  return edge_key(hu, hv);
+}
+
+void UltraSparseSpanner::note_pair_touched(EdgeKey pk) {
+  if (touched_pairs_.count(pk)) return;
+  auto it = buckets_.find(pk);
+  touched_pairs_[pk] = PairSnapshot{
+      it != buckets_.end(), it != buckets_.end() ? it->second.rep : kNoEdge};
+}
+
+void UltraSparseSpanner::bucket_add(Edge e) {
+  EdgeKey pk = pair_key_of(e);
+  if (pk == kNoEdge) return;
+  note_pair_touched(pk);
+  auto [it, fresh] = buckets_.try_emplace(pk);
+  it->second.members.insert(e.key());
+  if (fresh) it->second.rep = e.key();
+}
+
+void UltraSparseSpanner::bucket_remove(Edge e, EdgeKey pk) {
+  if (pk == kNoEdge) return;
+  note_pair_touched(pk);
+  auto it = buckets_.find(pk);
+  assert(it != buckets_.end());
+  it->second.members.erase(e.key());
+  if (it->second.members.empty())
+    buckets_.erase(it);
+  else if (it->second.rep == e.key())
+    it->second.rep = *it->second.members.begin();
+}
+
+void UltraSparseSpanner::attach(Edge e) { bucket_add(e); }
+
+void UltraSparseSpanner::detach(Edge e) { bucket_remove(e, pair_key_of(e)); }
+
+void UltraSparseSpanner::commit_head(VertexId v, const HeadResult& hr) {
+  // Move incident edges' bucket / H2 membership from the old head state to
+  // the new one, and refresh the H1 parent contribution.
+  std::vector<Edge> incident;
+  incident.reserve(adj_[v].size());
+  for (VertexId w : adj_[v]) incident.emplace_back(v, w);
+  for (const Edge& e : incident) {
+    if (edge_in_h2(e)) h2_del_.push_back(e);
+    detach(e);
+  }
+  head_[v] = hr.head;
+  for (const Edge& e : incident) {
+    if (edge_in_h2(e)) h2_ins_.push_back(e);
+    attach(e);
+  }
+  EdgeKey want = kNoEdge;
+  if (hr.head != kBot && hr.head != v) {
+    assert(hr.par != kNoVertex);
+    want = edge_key(v, hr.par);
+  }
+  if (par_edge_[v] != want) {
+    if (par_edge_[v] != kNoEdge) s_remove(par_edge_[v]);
+    par_edge_[v] = want;
+    if (want != kNoEdge) s_add(want);
+  }
+}
+
+void UltraSparseSpanner::s_add(EdgeKey ek) {
+  // Deferred: an edge may change roles (H1 parent / H2 forest / pair
+  // representative) within one batch; applying all removals before all
+  // insertions at the end keeps S a true set.
+  pending_add_.push_back(ek);
+  ++s_delta_[ek];
+}
+
+void UltraSparseSpanner::s_remove(EdgeKey ek) {
+  pending_rem_.push_back(ek);
+  --s_delta_[ek];
+}
+
+SpannerDiff UltraSparseSpanner::update(const std::vector<Edge>& insertions,
+                                       const std::vector<Edge>& deletions) {
+  s_delta_.clear();
+  touched_pairs_.clear();
+  h2_ins_.clear();
+  h2_del_.clear();
+
+  std::unordered_set<VertexId> touched;
+  // --- Deletions. ---
+  for (const Edge& er : deletions) {
+    Edge e(er.u, er.v);
+    if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
+    if (!alive_.erase(e.key())) continue;
+    if (edge_in_h2(e)) h2_del_.push_back(e);
+    detach(e);
+    adj_[e.u].erase(e.v);
+    adj_[e.v].erase(e.u);
+    --alive_count_;
+    // A dying parent edge leaves H1 immediately; the endpoint's head is
+    // recomputed below.
+    for (VertexId w : {e.u, e.v}) {
+      if (par_edge_[w] == e.key()) {
+        s_remove(par_edge_[w]);
+        par_edge_[w] = kNoEdge;
+      }
+      touched.insert(w);
+    }
+  }
+  // --- Insertions. ---
+  for (const Edge& er : insertions) {
+    Edge e(er.u, er.v);
+    if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
+    if (!alive_.insert(e.key()).second) continue;
+    adj_[e.u].insert(e.v);
+    adj_[e.v].insert(e.u);
+    ++alive_count_;
+    attach(e);
+    if (edge_in_h2(e)) h2_ins_.push_back(e);
+    touched.insert(e.u);
+    touched.insert(e.v);
+  }
+
+  // --- Recomputation (paper §5.2): heavy seeds first, then Algorithm 6's
+  // light set against the committed heavy heads. ---
+  std::vector<VertexId> seeds(touched.begin(), touched.end());
+  for (VertexId v : seeds) {
+    if (!sampled_[v] && !heavy(v)) continue;  // light handled below
+    HeadResult hr = compute_head(v);
+    EdgeKey want = (hr.head != kBot && hr.head != v)
+                       ? edge_key(v, hr.par)
+                       : kNoEdge;
+    if (hr.head != head_[v] || par_edge_[v] != want) commit_head(v, hr);
+  }
+  std::vector<VertexId> lights = light_need_recompute(seeds);
+  std::vector<HeadResult> results(lights.size());
+  for (size_t i = 0; i < lights.size(); ++i)
+    results[i] = compute_head(lights[i]);
+  for (size_t i = 0; i < lights.size(); ++i) {
+    VertexId v = lights[i];
+    const HeadResult& hr = results[i];
+    EdgeKey want = (hr.head != kBot && hr.head != v)
+                       ? edge_key(v, hr.par)
+                       : kNoEdge;
+    if (hr.head != head_[v] || par_edge_[v] != want) commit_head(v, hr);
+  }
+
+  // --- H2 forest update (net the membership churn first). ---
+  {
+    std::unordered_map<EdgeKey, int32_t> net;
+    for (const Edge& e : h2_ins_) ++net[e.key()];
+    for (const Edge& e : h2_del_) --net[e.key()];
+    std::vector<Edge> ins2, del2;
+    for (auto& [ek, d] : net) {
+      assert(d >= -1 && d <= 1);
+      if (d > 0) ins2.push_back(edge_from_key(ek));
+      if (d < 0) del2.push_back(edge_from_key(ek));
+    }
+    SpannerDiff fd = h2_->update(ins2, del2);
+    for (const Edge& e : fd.removed) s_remove(e.key());
+    for (const Edge& e : fd.inserted) s_add(e.key());
+  }
+
+  // --- Next-level update and representative composition. ---
+  std::vector<Edge> next_ins, next_del, rep_changed;
+  for (auto& [pk, snap] : touched_pairs_) {
+    auto it = buckets_.find(pk);
+    bool exists = it != buckets_.end();
+    if (snap.existed && !exists) next_del.push_back(edge_from_key(pk));
+    if (!snap.existed && exists) next_ins.push_back(edge_from_key(pk));
+    if (snap.existed && exists && snap.old_rep != it->second.rep)
+      rep_changed.push_back(edge_from_key(pk));
+  }
+  SpannerDiff nd = next_->update(next_ins, next_del);
+  for (const Edge& p : nd.removed) {
+    auto it = used_rep_.find(p.key());
+    assert(it != used_rep_.end());
+    s_remove(it->second);
+    used_rep_.erase(it);
+  }
+  std::vector<EdgeKey> pending;
+  for (const Edge& p : rep_changed) {
+    auto it = used_rep_.find(p.key());
+    if (it == used_rep_.end()) continue;
+    EdgeKey cur = buckets_.at(p.key()).rep;
+    if (it->second == cur) continue;
+    s_remove(it->second);
+    used_rep_.erase(it);
+    pending.push_back(p.key());
+  }
+  for (const Edge& p : nd.inserted) {
+    EdgeKey rep = buckets_.at(p.key()).rep;
+    used_rep_[p.key()] = rep;
+    s_add(rep);
+  }
+  for (EdgeKey pk : pending) {
+    EdgeKey rep = buckets_.at(pk).rep;
+    used_rep_[pk] = rep;
+    s_add(rep);
+  }
+
+  // Apply deferred S mutations: removals first, then insertions.
+  for (EdgeKey ek : pending_rem_) {
+    size_t erased = s_mem_.erase(ek);
+    assert(erased == 1);
+    (void)erased;
+  }
+  for (EdgeKey ek : pending_add_) {
+    bool fresh = s_mem_.insert(ek).second;
+    assert(fresh && "spanner components must stay disjoint");
+    (void)fresh;
+  }
+  pending_rem_.clear();
+  pending_add_.clear();
+
+  SpannerDiff diff;
+  for (auto& [ek, d] : s_delta_) {
+    assert(d >= -1 && d <= 1);
+    if (d > 0) diff.inserted.push_back(edge_from_key(ek));
+    if (d < 0) diff.removed.push_back(edge_from_key(ek));
+  }
+  return diff;
+}
+
+std::vector<Edge> UltraSparseSpanner::spanner_edges() const {
+  std::vector<Edge> out;
+  out.reserve(s_mem_.size());
+  for (EdgeKey ek : s_mem_) out.push_back(edge_from_key(ek));
+  return out;
+}
+
+bool UltraSparseSpanner::check_invariants() const {
+  // Reference heads: heavy/sampled from adjacency, then light.
+  std::vector<VertexId> ref(n_, kBot);
+  std::vector<VertexId> ref_par(n_, kNoVertex);
+  for (VertexId v = 0; v < n_; ++v)
+    if (sampled_[v] || heavy(v)) {
+      if (compute_head(v).head != head_[v]) return false;
+      ref[v] = head_[v];
+    }
+  for (VertexId v = 0; v < n_; ++v) {
+    if (sampled_[v] || heavy(v)) continue;
+    HeadResult hr = compute_head(v);
+    if (hr.head != head_[v]) return false;
+  }
+  // H1 parent contributions: for clustered v the stored edge must connect v
+  // to a live neighbor sharing v's head.
+  for (VertexId v = 0; v < n_; ++v) {
+    if (head_[v] == kBot || head_[v] == v) {
+      if (par_edge_[v] != kNoEdge) return false;
+      continue;
+    }
+    if (par_edge_[v] == kNoEdge) return false;
+    Edge pe = edge_from_key(par_edge_[v]);
+    if (!alive_.count(pe.key())) return false;
+    VertexId p = pe.other(v);
+    if (!adj_[v].count(p)) return false;
+    if (head_[p] != head_[v]) return false;  // Lemma 5.3 in-cluster parent
+  }
+  // Buckets from scratch.
+  std::unordered_map<EdgeKey, std::unordered_set<EdgeKey>> ref_buckets;
+  size_t h2_edges = 0;
+  for (EdgeKey ek : alive_) {
+    Edge e = edge_from_key(ek);
+    EdgeKey pk = pair_key_of(e);
+    if (pk != kNoEdge) ref_buckets[pk].insert(ek);
+    if (edge_in_h2(e)) ++h2_edges;
+  }
+  if (ref_buckets.size() != buckets_.size()) return false;
+  for (auto& [pk, members] : ref_buckets) {
+    auto it = buckets_.find(pk);
+    if (it == buckets_.end()) return false;
+    if (it->second.members != members) return false;
+    if (!members.count(it->second.rep)) return false;
+  }
+  if (h2_->num_edges() != h2_edges) return false;
+  if (!h2_->check_invariants()) return false;
+  if (!next_->check_invariants()) return false;
+  // Next structure's graph must equal the bucket pairs.
+  if (next_->num_edges() != buckets_.size()) return false;
+  // Composition.
+  std::unordered_set<EdgeKey> ref_s;
+  for (VertexId v = 0; v < n_; ++v)
+    if (par_edge_[v] != kNoEdge) ref_s.insert(par_edge_[v]);
+  for (const Edge& e : h2_->forest_edges())
+    if (!ref_s.insert(e.key()).second) return false;
+  auto ns = next_->spanner_edges();
+  if (used_rep_.size() != ns.size()) return false;
+  for (const Edge& p : ns) {
+    auto it = used_rep_.find(p.key());
+    if (it == used_rep_.end()) return false;
+    if (buckets_.at(p.key()).rep != it->second) return false;
+    if (!ref_s.insert(it->second).second) return false;
+  }
+  return ref_s == s_mem_;
+}
+
+}  // namespace parspan

@@ -1,0 +1,159 @@
+// UltraSparseSpanner: the batch-dynamic ultra-sparse spanner of Theorem 1.4
+// — n + O(n/x) edges with stretch O(x log x · log n · poly(log log n)) —
+// via the single contraction ContractUltra(G, x) of Lemma 5.1 composed with
+// the sparse spanner of Theorem 1.3.
+//
+// ContractUltra (paper §5.1-§5.2):
+//  * D ⊆ V sampled once with probability 1/x; rand_v a fixed random value
+//    per vertex (the tie-breaking permutation P).
+//  * v is HEAVY if deg(v) >= T = ceil(10 x log2 x), else LIGHT (the status
+//    is dynamic; crossings are handled as recomputations).
+//  * Head(v): sampled vertices head to themselves. Heavy vertices head to
+//    the sampled neighbor minimizing rand (else themselves, joining D').
+//    Light vertices run the bounded BFS of Algorithm 5 — radius R = T,
+//    never branching through heavy vertices — and head to the closest
+//    D ∪ D' member (ties by rand), becoming ⊥ when their whole (light)
+//    component is exhausted with no candidate, or heading to themselves
+//    when the radius truncates.
+//  * H1 = the per-cluster shortest-path forest: one parent edge per
+//    clustered vertex (Lemma 5.3 guarantees the parent is in-cluster).
+//  * H2 = a spanning forest of the edges with both endpoints ⊥, maintained
+//    by SmallComponentForest (the [AABD19] substitution, DESIGN.md §1).
+//  * NextLevelEdges buckets + representatives map the contracted graph
+//    (over the original vertex-id space, as in the paper's white-box use
+//    of Theorem 1.3) into a SparseSpanner.
+//
+// After a batch, recomputation follows the paper exactly: heavy heads are
+// refreshed at updated endpoints first; Algorithm 6's bounded BFS then
+// collects every light vertex whose Algorithm-5 ball was touched, and those
+// are recomputed against the committed heavy heads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "connectivity/dynamic_forest.hpp"
+#include "container/counted_treap.hpp"
+#include "core/sparse_spanner.hpp"
+#include "util/types.hpp"
+
+namespace parspan {
+
+struct UltraConfig {
+  /// Integer contraction parameter x >= 2 (paper: 2 <= x <=
+  /// O(log log n / (log log log n)^2)).
+  uint32_t x = 2;
+  uint64_t seed = 1;
+  /// Configuration of the Theorem 1.3 structure on the contracted graph
+  /// (its seed is derived from `seed`).
+  SparseSpannerConfig next;
+};
+
+class UltraSparseSpanner {
+ public:
+  UltraSparseSpanner(size_t n, const std::vector<Edge>& edges,
+                     const UltraConfig& cfg);
+
+  size_t num_vertices() const { return n_; }
+  size_t num_edges() const { return alive_count_; }
+  size_t spanner_size() const { return s_mem_.size(); }
+  std::vector<Edge> spanner_edges() const;
+  bool in_spanner(Edge e) const { return s_mem_.count(e.key()) > 0; }
+
+  SpannerDiff update(const std::vector<Edge>& insertions,
+                     const std::vector<Edge>& deletions);
+  SpannerDiff insert_edges(const std::vector<Edge>& ins) {
+    return update(ins, {});
+  }
+  SpannerDiff delete_edges(const std::vector<Edge>& del) {
+    return update({}, del);
+  }
+
+  /// Head of v: v itself for centers/unclustered, kNoVertex for ⊥.
+  VertexId head(VertexId v) const { return head_[v]; }
+  bool is_sampled(VertexId v) const { return sampled_[v] != 0; }
+  uint32_t heavy_threshold() const { return T_; }
+
+  /// Composed stretch witness: 21 x log x · (L+1) over the next level's L.
+  uint32_t stretch_bound() const;
+
+  bool check_invariants() const;
+
+ private:
+  static constexpr VertexId kBot = kNoVertex;
+
+  struct HeadResult {
+    VertexId head = kBot;
+    VertexId par = kNoVertex;  // neighbor toward the head (kNoVertex: none)
+  };
+
+  bool heavy(VertexId v) const { return adj_[v].size() >= T_; }
+  uint64_t nbr_key(VertexId w) const {
+    return ((sampled_[w] ? 0ull : 1ull) << 62) | (rand_[w] >> 2);
+  }
+
+  /// Algorithm 5 (light) / neighbor-min (heavy). Reads committed heavy
+  /// heads; does not mutate state.
+  HeadResult compute_head(VertexId v) const;
+
+  /// Algorithm 6: light vertices whose Algorithm-5 ball contains a seed,
+  /// branching through light vertices and through heavy seeds.
+  std::vector<VertexId> light_need_recompute(
+      const std::vector<VertexId>& seeds) const;
+
+  EdgeKey pair_key_of(Edge e) const;
+  bool edge_in_h2(Edge e) const {
+    return head_[e.u] == kBot && head_[e.v] == kBot;
+  }
+
+  void bucket_add(Edge e);
+  void bucket_remove(Edge e, EdgeKey pk);
+  void note_pair_touched(EdgeKey pk);
+  void attach(Edge e);
+  void detach(Edge e);
+  void commit_head(VertexId v, const HeadResult& hr);
+
+  void s_add(EdgeKey ek);
+  void s_remove(EdgeKey ek);
+
+  size_t n_ = 0;
+  UltraConfig cfg_;
+  uint32_t T_ = 2;  // heavy threshold = BFS radius (10 x log2 x)
+
+  std::vector<uint8_t> sampled_;
+  std::vector<uint64_t> rand_;
+  std::vector<std::unordered_set<VertexId>> adj_;
+  std::unordered_set<EdgeKey> alive_;
+  size_t alive_count_ = 0;
+
+  std::vector<VertexId> head_;
+  std::vector<EdgeKey> par_edge_;  // H1 contribution per vertex
+
+  struct Bucket {
+    std::unordered_set<EdgeKey> members;  // supporting layer-0 edges
+    EdgeKey rep = kNoEdge;
+  };
+  std::unordered_map<EdgeKey, Bucket> buckets_;
+
+  std::unique_ptr<SmallComponentForest> h2_;
+  std::unique_ptr<SparseSpanner> next_;
+
+  // Final spanner composition S = H1 ∪ forest(H2) ∪ rep(S_next).
+  std::unordered_set<EdgeKey> s_mem_;
+  std::unordered_map<EdgeKey, EdgeKey> used_rep_;  // pair -> layer-0 edge
+  std::unordered_map<EdgeKey, int32_t> s_delta_;
+
+  // Batch-scoped accumulators.
+  struct PairSnapshot {
+    bool existed;
+    EdgeKey old_rep;
+  };
+  std::unordered_map<EdgeKey, PairSnapshot> touched_pairs_;
+  std::vector<Edge> h2_ins_, h2_del_;
+  std::vector<EdgeKey> pending_add_, pending_rem_;  // deferred S mutations
+};
+
+}  // namespace parspan

@@ -1,0 +1,59 @@
+#include "graph/bfs.hpp"
+
+#include <atomic>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+
+namespace parspan {
+
+std::vector<uint32_t> bounded_bfs(const DynamicGraph& g,
+                                  const std::vector<VertexId>& sources,
+                                  uint32_t L) {
+  size_t n = g.num_vertices();
+  std::vector<std::atomic<uint32_t>> dist(n);
+  parallel_for(0, n, [&](size_t v) {
+    dist[v].store(L + 1, std::memory_order_relaxed);
+  });
+  std::vector<VertexId> frontier;
+  for (VertexId s : sources) {
+    uint32_t expect = L + 1;
+    if (dist[s].compare_exchange_strong(expect, 0)) frontier.push_back(s);
+  }
+  for (uint32_t level = 0; level < L && !frontier.empty(); ++level) {
+    // Gather per-frontier-vertex neighbor candidates, claim with CAS.
+    std::vector<std::vector<VertexId>> next_local(frontier.size());
+    parallel_for(0, frontier.size(), [&](size_t i) {
+      VertexId u = frontier[i];
+      for (VertexId w : g.neighbors(u)) {
+        uint32_t expect = L + 1;
+        if (dist[w].compare_exchange_strong(expect, level + 1,
+                                            std::memory_order_relaxed))
+          next_local[i].push_back(w);
+      }
+    }, 64);
+    size_t total = 0;
+    for (auto& loc : next_local) total += loc.size();
+    std::vector<VertexId> next;
+    next.reserve(total);
+    for (auto& loc : next_local)
+      next.insert(next.end(), loc.begin(), loc.end());
+    frontier = std::move(next);
+  }
+  std::vector<uint32_t> out(n);
+  for (size_t v = 0; v < n; ++v)
+    out[v] = dist[v].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<uint32_t> bfs_distances(const DynamicGraph& g, VertexId source) {
+  uint32_t L = g.num_vertices() == 0
+                   ? 0
+                   : static_cast<uint32_t>(g.num_vertices() - 1);
+  auto d = bounded_bfs(g, {source}, L);
+  for (auto& x : d)
+    if (x == L + 1) x = kUnreached;
+  return d;
+}
+
+}  // namespace parspan

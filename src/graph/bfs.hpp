@@ -1,0 +1,32 @@
+// Parallel bounded breadth-first search (Lemma 3.2 of the paper).
+//
+// Computes, for every vertex v, Dist(v) = the s->v distance if it is <= L,
+// and L+1 otherwise. The frontier is expanded level by level ("for each
+// i = 0,1,...,L-1 compute S(i+1) from S(i)"); vertex acquisition uses an
+// atomic CAS, matching the O(m log n) work / O(L log n) depth statement
+// (our depth proxy is the number of levels).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "util/types.hpp"
+
+namespace parspan {
+
+/// Distance value used for "unreached within L".
+inline constexpr uint32_t kUnreached = static_cast<uint32_t>(-1);
+
+/// Bounded multi-source BFS on an undirected DynamicGraph.
+/// Returns dist[] with dist[v] = min distance from any source, or L+1 if the
+/// distance exceeds L (or v is unreachable).
+std::vector<uint32_t> bounded_bfs(const DynamicGraph& g,
+                                  const std::vector<VertexId>& sources,
+                                  uint32_t L);
+
+/// Exact single-source distances (L = n), convenience wrapper used by the
+/// verification oracles.
+std::vector<uint32_t> bfs_distances(const DynamicGraph& g, VertexId source);
+
+}  // namespace parspan

@@ -1,0 +1,81 @@
+#include "graph/dynamic_graph.hpp"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+
+namespace parspan {
+
+std::vector<Edge> DynamicGraph::insert_edges(const std::vector<Edge>& batch) {
+  // Filter: drop self-loops, in-batch duplicates, and already-present edges.
+  std::vector<EdgeKey> keys;
+  keys.reserve(batch.size());
+  for (const Edge& e : batch) {
+    if (e.u == e.v || e.u >= adj_.size() || e.v >= adj_.size()) continue;
+    keys.push_back(e.key());
+  }
+  sort_unique(keys);
+  std::vector<Edge> applied;
+  applied.reserve(keys.size());
+  for (EdgeKey k : keys) {
+    Edge e = edge_from_key(k);
+    if (!has_edge(e.u, e.v)) applied.push_back(e);
+  }
+  // Apply grouped by endpoint so each adjacency list has one writer.
+  // Arcs: (owner, other) for both directions.
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(2 * applied.size());
+  for (const Edge& e : applied) {
+    arcs.push_back({e.u, e.v});
+    arcs.push_back({e.v, e.u});
+  }
+  parallel_sort(arcs);
+  // Parallel over runs of equal owner.
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < arcs.size(); ++i)
+    if (i == 0 || arcs[i].first != arcs[i - 1].first) starts.push_back(i);
+  parallel_for(0, starts.size(), [&](size_t r) {
+    size_t lo = starts[r];
+    size_t hi = r + 1 < starts.size() ? starts[r + 1] : arcs.size();
+    for (size_t i = lo; i < hi; ++i) add_arc(arcs[i].first, arcs[i].second);
+  });
+  num_edges_ += applied.size();
+  return applied;
+}
+
+std::vector<Edge> DynamicGraph::erase_edges(const std::vector<Edge>& batch) {
+  std::vector<EdgeKey> keys;
+  keys.reserve(batch.size());
+  for (const Edge& e : batch) {
+    if (e.u == e.v || e.u >= adj_.size() || e.v >= adj_.size()) continue;
+    keys.push_back(e.key());
+  }
+  sort_unique(keys);
+  std::vector<Edge> applied;
+  applied.reserve(keys.size());
+  for (EdgeKey k : keys) {
+    Edge e = edge_from_key(k);
+    if (has_edge(e.u, e.v)) applied.push_back(e);
+  }
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(2 * applied.size());
+  for (const Edge& e : applied) {
+    arcs.push_back({e.u, e.v});
+    arcs.push_back({e.v, e.u});
+  }
+  parallel_sort(arcs);
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < arcs.size(); ++i)
+    if (i == 0 || arcs[i].first != arcs[i - 1].first) starts.push_back(i);
+  parallel_for(0, starts.size(), [&](size_t r) {
+    size_t lo = starts[r];
+    size_t hi = r + 1 < starts.size() ? starts[r + 1] : arcs.size();
+    for (size_t i = lo; i < hi; ++i)
+      remove_arc(arcs[i].first, arcs[i].second);
+  });
+  num_edges_ -= applied.size();
+  return applied;
+}
+
+}  // namespace parspan

@@ -1,0 +1,87 @@
+// DynamicGraph: a simple undirected graph under batch edge insertions and
+// deletions. This is the "input graph" substrate all batch-dynamic
+// structures observe. Adjacency is stored as per-vertex dense vectors with
+// a position index for O(1) removal; batches are applied with per-vertex
+// parallelism (each endpoint's adjacency touched by exactly one task).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parspan {
+
+class DynamicGraph {
+ public:
+  /// Creates an edgeless graph on n vertices.
+  explicit DynamicGraph(size_t n = 0) : adj_(n), pos_(n) {}
+
+  size_t num_vertices() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Degree of v.
+  size_t degree(VertexId v) const { return adj_[v].size(); }
+
+  /// Neighbors of v (unordered; invalidated by updates).
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adj_[v].data(), adj_[v].size()};
+  }
+
+  /// True iff the undirected edge {u, v} is present.
+  bool has_edge(VertexId u, VertexId v) const {
+    if (u == v) return false;
+    const auto& p = degree(u) <= degree(v) ? pos_[u] : pos_[v];
+    VertexId other = degree(u) <= degree(v) ? v : u;
+    return p.find(other) != p.end();
+  }
+
+  /// Inserts a batch of edges. Self-loops, duplicates within the batch, and
+  /// edges already present are filtered out. Returns the edges actually
+  /// inserted (canonical orientation).
+  std::vector<Edge> insert_edges(const std::vector<Edge>& batch);
+
+  /// Deletes a batch of edges; absent edges are ignored. Returns the edges
+  /// actually removed (canonical orientation).
+  std::vector<Edge> erase_edges(const std::vector<Edge>& batch);
+
+  /// Visits every edge once (u < v order).
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    for (VertexId u = 0; u < adj_.size(); ++u)
+      for (VertexId v : adj_[u])
+        if (u < v) fn(Edge(u, v));
+  }
+
+  /// All edges as a vector (u < v).
+  std::vector<Edge> edges() const {
+    std::vector<Edge> out;
+    out.reserve(num_edges_);
+    for_each_edge([&](Edge e) { out.push_back(e); });
+    return out;
+  }
+
+ private:
+  void add_arc(VertexId u, VertexId v) {
+    pos_[u].emplace(v, static_cast<uint32_t>(adj_[u].size()));
+    adj_[u].push_back(v);
+  }
+  void remove_arc(VertexId u, VertexId v) {
+    auto it = pos_[u].find(v);
+    uint32_t i = it->second;
+    VertexId last = adj_[u].back();
+    adj_[u][i] = last;
+    pos_[u][last] = i;
+    adj_[u].pop_back();
+    pos_[u].erase(it);
+  }
+
+  std::vector<std::vector<VertexId>> adj_;
+  std::vector<std::unordered_map<VertexId, uint32_t>> pos_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace parspan

@@ -1,0 +1,64 @@
+// Work-depth style parallel loop primitives on top of OpenMP.
+//
+// The paper's algorithms are stated in the work-depth (PRAM) model; this
+// shared-memory layer realizes "for v in U in parallel" loops. Loops fall
+// back to serial execution below a grain size so that tiny batches do not
+// pay scheduling overhead, which also keeps unit tests deterministic under
+// single-threaded runs.
+#pragma once
+
+#include <omp.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace parspan {
+
+/// Default minimum number of iterations before a loop is parallelized.
+inline constexpr size_t kParGrain = 2048;
+
+/// Number of worker threads OpenMP will use.
+inline int num_workers() { return omp_get_max_threads(); }
+
+/// Sets the number of worker threads (global; used by benchmarks to sweep).
+inline void set_num_workers(int p) { omp_set_num_threads(p); }
+
+/// parallel_for(lo, hi, f): applies f(i) for all i in [lo, hi).
+/// Runs serially when the trip count is below `grain`.
+template <typename F>
+void parallel_for(size_t lo, size_t hi, F&& f, size_t grain = kParGrain) {
+  if (hi <= lo) return;
+  size_t n = hi - lo;
+  if (n < grain || num_workers() <= 1) {
+    for (size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 512)
+  for (size_t i = lo; i < hi; ++i) f(i);
+}
+
+/// parallel_reduce over [lo, hi) with a commutative combiner.
+/// `f(i)` produces a value; `combine(a, b)` merges; `init` is the identity.
+template <typename T, typename F, typename C>
+T parallel_reduce(size_t lo, size_t hi, T init, F&& f, C&& combine,
+                  size_t grain = kParGrain) {
+  if (hi <= lo) return init;
+  size_t n = hi - lo;
+  if (n < grain || num_workers() <= 1) {
+    T acc = init;
+    for (size_t i = lo; i < hi; ++i) acc = combine(acc, f(i));
+    return acc;
+  }
+  T result = init;
+#pragma omp parallel
+  {
+    T local = init;
+#pragma omp for schedule(static) nowait
+    for (size_t i = lo; i < hi; ++i) local = combine(local, f(i));
+#pragma omp critical
+    result = combine(result, local);
+  }
+  return result;
+}
+
+}  // namespace parspan

@@ -1,0 +1,124 @@
+// Parallel sequence primitives: exclusive scan, pack/filter, remove-duplicates
+// and sorting. These are the standard building blocks of work-depth algorithms
+// (cf. Blelloch's scan vocabulary) used throughout the batch-dynamic
+// structures to turn "per-element in parallel" pseudo-code into real loops.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace parspan {
+
+/// Exclusive prefix sum of `xs` in place; returns the total.
+template <typename T>
+T exclusive_scan_inplace(std::vector<T>& xs) {
+  size_t n = xs.size();
+  if (n == 0) return T{};
+  int p = num_workers();
+  if (n < kParGrain || p <= 1) {
+    T acc{};
+    for (size_t i = 0; i < n; ++i) {
+      T x = xs[i];
+      xs[i] = acc;
+      acc += x;
+    }
+    return acc;
+  }
+  // Two-pass blocked scan.
+  size_t nblocks = static_cast<size_t>(p) * 4;
+  size_t bsz = (n + nblocks - 1) / nblocks;
+  std::vector<T> block_sum(nblocks, T{});
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nblocks; ++b) {
+    size_t lo = b * bsz, hi = std::min(n, lo + bsz);
+    T acc{};
+    for (size_t i = lo; i < hi; ++i) acc += xs[i];
+    block_sum[b] = acc;
+  }
+  T total{};
+  for (size_t b = 0; b < nblocks; ++b) {
+    T x = block_sum[b];
+    block_sum[b] = total;
+    total += x;
+  }
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nblocks; ++b) {
+    size_t lo = b * bsz, hi = std::min(n, lo + bsz);
+    T acc = block_sum[b];
+    for (size_t i = lo; i < hi; ++i) {
+      T x = xs[i];
+      xs[i] = acc;
+      acc += x;
+    }
+  }
+  return total;
+}
+
+/// pack: returns the elements xs[i] with pred(i) true, preserving order.
+template <typename T, typename Pred>
+std::vector<T> pack(const std::vector<T>& xs, Pred&& pred) {
+  size_t n = xs.size();
+  std::vector<uint64_t> flags(n);
+  parallel_for(0, n, [&](size_t i) { flags[i] = pred(i) ? 1 : 0; });
+  std::vector<uint64_t> offsets = flags;
+  uint64_t total = exclusive_scan_inplace(offsets);
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](size_t i) {
+    if (flags[i]) out[offsets[i]] = xs[i];
+  });
+  return out;
+}
+
+/// filter: pack with a predicate on values rather than indices.
+template <typename T, typename Pred>
+std::vector<T> filter(const std::vector<T>& xs, Pred&& pred) {
+  return pack(xs, [&](size_t i) { return pred(xs[i]); });
+}
+
+/// Parallel comparison sort (merge-sort over blocks). Stable within the
+/// std::sort blocks is not guaranteed; use for keys where ties are benign.
+template <typename T, typename Cmp = std::less<T>>
+void parallel_sort(std::vector<T>& xs, Cmp cmp = Cmp{}) {
+  size_t n = xs.size();
+  int p = num_workers();
+  if (n < kParGrain || p <= 1) {
+    std::sort(xs.begin(), xs.end(), cmp);
+    return;
+  }
+  size_t nblocks = 1;
+  while (nblocks < static_cast<size_t>(p)) nblocks <<= 1;
+  size_t bsz = (n + nblocks - 1) / nblocks;
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nblocks; ++b) {
+    size_t lo = b * bsz, hi = std::min(n, lo + bsz);
+    if (lo < hi) std::sort(xs.begin() + lo, xs.begin() + hi, cmp);
+  }
+  // Pairwise merges, halving block count each round (log depth).
+  std::vector<T> tmp(n);
+  for (size_t width = bsz; width < n; width *= 2) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (size_t lo = 0; lo < n; lo += 2 * width) {
+      size_t mid = std::min(n, lo + width);
+      size_t hi = std::min(n, lo + 2 * width);
+      std::merge(xs.begin() + lo, xs.begin() + mid, xs.begin() + mid,
+                 xs.begin() + hi, tmp.begin() + lo, cmp);
+    }
+    std::swap(xs, tmp);
+  }
+}
+
+/// Sorts and removes duplicates.
+template <typename T>
+void sort_unique(std::vector<T>& xs) {
+  parallel_sort(xs);
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+}
+
+}  // namespace parspan

@@ -1,0 +1,110 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All randomized algorithms in the library draw from Rng so that runs are
+// reproducible given a seed, and so that per-vertex / per-edge streams can be
+// split off without contention between threads (each parallel task derives an
+// independent stream from (seed, index) via splitmix64).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace parspan {
+
+/// splitmix64 finalizer: a high-quality 64-bit mixing function.
+inline constexpr uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateless hash of a (seed, index) pair to a uniform 64-bit value.
+/// Used to assign independent random values to vertices/edges in parallel.
+inline constexpr uint64_t hash_combine(uint64_t seed, uint64_t index) {
+  return splitmix64(seed ^ splitmix64(index + 0x9e3779b97f4a7c15ULL));
+}
+
+/// xoshiro256** PRNG: fast, 256-bit state, passes BigCrush.
+/// Satisfies the essentials of UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  /// Reinitializes the state from a 64-bit seed via splitmix64 expansion.
+  void reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      s = splitmix64(x);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return next(); }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound) {
+    // Lemire's nearly-divisionless method.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p) coin flip.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponential(beta) sample: density beta * exp(-beta x) for x >= 0.
+  /// This is the distribution used by exponential start-time clustering
+  /// [MPX13, MPVX15]: Exp(beta) with rate parameter beta.
+  double next_exponential(double beta) {
+    // Inverse CDF; guard against log(0).
+    double u = next_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -std::log1p(-u) / beta;
+  }
+
+  /// Independent child generator for stream `index` (for parallel tasks).
+  Rng split(uint64_t index) const {
+    return Rng(hash_combine(s_[0] ^ s_[3], index));
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace parspan

@@ -1,0 +1,51 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace parspan {
+
+/// Running mean / variance / extrema accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// p-th percentile (0 <= p <= 1) of a sample; copies and sorts.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double idx = p * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace parspan

@@ -1,0 +1,7 @@
+#include "util/version.hpp"
+
+namespace parspan {
+
+const char* version() { return "0.1.0"; }
+
+}  // namespace parspan

@@ -1,0 +1,9 @@
+// Library version string.
+#pragma once
+
+namespace parspan {
+
+/// Returns the semantic version of the parspan library.
+const char* version();
+
+}  // namespace parspan

@@ -1,0 +1,64 @@
+#include "verify/laplacian.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace parspan {
+
+double quadratic_form(const std::vector<WeightedEdge>& edges,
+                      const std::vector<double>& x) {
+  double s = 0;
+  for (const WeightedEdge& we : edges) {
+    double d = x[we.e.u] - x[we.e.v];
+    s += we.w * d * d;
+  }
+  return s;
+}
+
+double cut_weight(const std::vector<WeightedEdge>& edges,
+                  const std::vector<uint8_t>& in_s) {
+  double s = 0;
+  for (const WeightedEdge& we : edges)
+    if (in_s[we.e.u] != in_s[we.e.v]) s += we.w;
+  return s;
+}
+
+QualityReport sparsifier_quality(size_t n, const std::vector<Edge>& g,
+                                 const std::vector<WeightedEdge>& h,
+                                 size_t vectors, size_t cuts, uint64_t seed) {
+  std::vector<WeightedEdge> gw;
+  gw.reserve(g.size());
+  for (const Edge& e : g) gw.push_back({e, 1.0});
+  QualityReport rep;
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (size_t it = 0; it < vectors; ++it) {
+    // Gaussian via Box-Muller on uniform doubles.
+    for (size_t v = 0; v < n; ++v) {
+      double u1 = std::max(rng.next_double(), 1e-12);
+      double u2 = rng.next_double();
+      x[v] = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307 * u2);
+    }
+    double fg = quadratic_form(gw, x);
+    double fh = quadratic_form(h, x);
+    if (fg > 1e-9) {
+      rep.max_form_err = std::max(rep.max_form_err, std::abs(fh / fg - 1.0));
+      ++rep.samples;
+    }
+  }
+  std::vector<uint8_t> in_s(n);
+  for (size_t it = 0; it < cuts; ++it) {
+    for (size_t v = 0; v < n; ++v) in_s[v] = rng.next_bool(0.5) ? 1 : 0;
+    double cg = cut_weight(gw, in_s);
+    double ch = cut_weight(h, in_s);
+    if (cg > 1e-9) {
+      rep.max_cut_err = std::max(rep.max_cut_err, std::abs(ch / cg - 1.0));
+      ++rep.samples;
+    }
+  }
+  return rep;
+}
+
+}  // namespace parspan

@@ -1,0 +1,47 @@
+// Laplacian / cut quality oracles for sparsifier verification.
+//
+// A (1±ε) spectral sparsifier satisfies
+//   (1-ε) x^T L_H x <= x^T L_G x <= (1+ε) x^T L_H x  for all x,
+// which cannot be checked exhaustively; the oracles sample random
+// Rademacher/Gaussian vectors and random cuts (the x = 1_S special case)
+// and report the worst observed relative deviation. Exact dense Laplacians
+// are used, so these are only meant for small-to-medium n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parspan {
+
+/// An edge with a positive weight (sparsifiers are weighted subgraphs).
+struct WeightedEdge {
+  Edge e;
+  double w = 1.0;
+};
+
+/// x^T L x for the weighted edge list: sum_e w_e (x_u - x_v)^2.
+double quadratic_form(const std::vector<WeightedEdge>& edges,
+                      const std::vector<double>& x);
+
+/// Weight of the cut (S, V\S): sum of w_e over edges with one endpoint in S.
+double cut_weight(const std::vector<WeightedEdge>& edges,
+                  const std::vector<uint8_t>& in_s);
+
+struct QualityReport {
+  /// max |form_H/form_G - 1| over the sampled quadratic forms (skipping
+  /// near-zero forms).
+  double max_form_err = 0.0;
+  /// max |cut_H/cut_G - 1| over the sampled cuts.
+  double max_cut_err = 0.0;
+  size_t samples = 0;
+};
+
+/// Samples `vectors` random Gaussian x's and `cuts` random vertex subsets
+/// and compares the weighted subgraph H against the unweighted graph G.
+QualityReport sparsifier_quality(size_t n, const std::vector<Edge>& g,
+                                 const std::vector<WeightedEdge>& h,
+                                 size_t vectors, size_t cuts, uint64_t seed);
+
+}  // namespace parspan

@@ -1,0 +1,62 @@
+#include "verify/spanner_check.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/bfs.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace parspan {
+
+namespace {
+
+/// Groups graph edges by their smaller endpoint and runs one bounded BFS in
+/// the spanner per distinct endpoint; returns the max edge stretch found
+/// (UINT32_MAX if any edge is not covered within `limit`).
+uint32_t edge_stretch_impl(size_t n, const std::vector<Edge>& graph,
+                           const std::vector<Edge>& spanner, uint32_t limit) {
+  DynamicGraph h(n);
+  h.insert_edges(spanner);
+  // Bucket edges by u endpoint.
+  std::vector<Edge> sorted = graph;
+  std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
+    return std::min(a.u, a.v) < std::min(b.u, b.v);
+  });
+  uint32_t worst = 0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    VertexId src = std::min(sorted[i].u, sorted[i].v);
+    size_t j = i;
+    while (j < sorted.size() && std::min(sorted[j].u, sorted[j].v) == src)
+      ++j;
+    auto d = bounded_bfs(h, {src}, limit);
+    for (size_t e = i; e < j; ++e) {
+      VertexId other = std::max(sorted[e].u, sorted[e].v);
+      if (d[other] > limit) return UINT32_MAX;
+      worst = std::max(worst, d[other]);
+    }
+    i = j;
+  }
+  return worst;
+}
+
+}  // namespace
+
+bool is_spanner(size_t n, const std::vector<Edge>& graph,
+                const std::vector<Edge>& spanner, uint32_t stretch) {
+  // Subset check.
+  std::unordered_set<EdgeKey> gset;
+  gset.reserve(graph.size() * 2);
+  for (const Edge& e : graph) gset.insert(e.key());
+  for (const Edge& e : spanner)
+    if (!gset.count(e.key())) return false;
+  return edge_stretch_impl(n, graph, spanner, stretch) != UINT32_MAX;
+}
+
+uint32_t max_edge_stretch(size_t n, const std::vector<Edge>& graph,
+                          const std::vector<Edge>& spanner, uint32_t limit) {
+  return edge_stretch_impl(n, graph, spanner, limit);
+}
+
+}  // namespace parspan

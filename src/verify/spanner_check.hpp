@@ -1,0 +1,27 @@
+// Spanner verification oracles.
+//
+// A subgraph H is a k-spanner of G iff for every EDGE (u,v) of G,
+// dist_H(u,v) <= k (the per-edge condition implies the all-pairs condition
+// by composing along shortest paths). The oracles here check exactly that,
+// with one bounded BFS per distinct source endpoint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parspan {
+
+/// True iff `spanner` ⊆ `graph` and dist_spanner(u,v) <= stretch for every
+/// (u,v) in `graph`. n = number of vertices.
+bool is_spanner(size_t n, const std::vector<Edge>& graph,
+                const std::vector<Edge>& spanner, uint32_t stretch);
+
+/// Maximum over graph edges (u,v) of dist_spanner(u,v); returns UINT32_MAX
+/// if some graph edge's endpoints are disconnected in the spanner within
+/// `limit` hops. Useful for measuring the empirical stretch in benchmarks.
+uint32_t max_edge_stretch(size_t n, const std::vector<Edge>& graph,
+                          const std::vector<Edge>& spanner, uint32_t limit);
+
+}  // namespace parspan

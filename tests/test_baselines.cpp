@@ -1,0 +1,115 @@
+// Tests for the static baseline spanners (Baswana-Sen [BS07] and the
+// exponential start-time clustering of [MPVX15]).
+#include <gtest/gtest.h>
+
+#include "core/baselines/baswana_sen.hpp"
+#include "core/baselines/static_mpvx.hpp"
+#include "graph/bfs.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "verify/spanner_check.hpp"
+
+namespace parspan {
+namespace {
+
+class BaswanaSenSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint32_t,
+                                                 uint64_t>> {};
+
+TEST_P(BaswanaSenSweep, ProducesValidSpanner) {
+  auto [n, m, k, seed] = GetParam();
+  auto edges = gen_erdos_renyi(n, m, seed);
+  auto h = baswana_sen_spanner(n, edges, k, seed * 2 + 1);
+  EXPECT_TRUE(is_spanner(n, edges, h, 2 * k - 1))
+      << "n=" << n << " m=" << m << " k=" << k << " |H|=" << h.size();
+  EXPECT_LE(h.size(), edges.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaswanaSenSweep,
+    ::testing::Values(std::make_tuple(size_t{40}, size_t{200}, uint32_t{2},
+                                      uint64_t{1}),
+                      std::make_tuple(size_t{60}, size_t{400}, uint32_t{3},
+                                      uint64_t{2}),
+                      std::make_tuple(size_t{80}, size_t{600}, uint32_t{4},
+                                      uint64_t{3}),
+                      std::make_tuple(size_t{100}, size_t{300}, uint32_t{2},
+                                      uint64_t{4}),
+                      std::make_tuple(size_t{50}, size_t{1225}, uint32_t{3},
+                                      uint64_t{5})));
+
+TEST(BaswanaSen, SparsifiesDenseGraphs) {
+  const size_t n = 200;
+  auto edges = gen_erdos_renyi(n, 8000, 7);
+  auto h = baswana_sen_spanner(n, edges, 3, 9);
+  // Expected O(k n^{1+1/k}): generous factor for small n.
+  double bound = 3.0 * std::pow(double(n), 1.0 + 1.0 / 3.0);
+  EXPECT_LE(double(h.size()), 4 * bound);
+  EXPECT_LT(h.size(), edges.size() / 2);
+}
+
+TEST(BaswanaSen, PathKeptIntact) {
+  auto edges = gen_path(30);
+  auto h = baswana_sen_spanner(30, edges, 3, 1);
+  EXPECT_EQ(h.size(), edges.size());
+}
+
+class MpvxSweep : public ::testing::TestWithParam<
+                      std::tuple<size_t, size_t, uint32_t, uint64_t>> {};
+
+TEST_P(MpvxSweep, ProducesValidSpanner) {
+  auto [n, m, k, seed] = GetParam();
+  auto edges = gen_erdos_renyi(n, m, seed);
+  auto res = mpvx_spanner(n, edges, k, seed * 7 + 3);
+  EXPECT_TRUE(is_spanner(n, edges, res.spanner, 2 * k - 1))
+      << "n=" << n << " k=" << k << " |H|=" << res.spanner.size();
+  EXPECT_LE(res.rounds, k);
+  // Every non-isolated vertex is clustered.
+  std::vector<size_t> deg(n, 0);
+  for (auto& e : edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (deg[v] > 0) EXPECT_NE(res.cluster[v], kNoVertex);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MpvxSweep,
+    ::testing::Values(std::make_tuple(size_t{40}, size_t{200}, uint32_t{2},
+                                      uint64_t{1}),
+                      std::make_tuple(size_t{60}, size_t{400}, uint32_t{3},
+                                      uint64_t{2}),
+                      std::make_tuple(size_t{80}, size_t{700}, uint32_t{4},
+                                      uint64_t{3}),
+                      std::make_tuple(size_t{50}, size_t{1225}, uint32_t{2},
+                                      uint64_t{4})));
+
+TEST(Mpvx, DenseGraphSparsifies) {
+  const size_t n = 300;
+  auto edges = gen_erdos_renyi(n, 12000, 5);
+  auto res = mpvx_spanner(n, edges, 3, 7);
+  double bound = std::pow(double(n), 1.0 + 1.0 / 3.0);
+  EXPECT_LE(double(res.spanner.size()), 6 * bound);
+}
+
+TEST(Mpvx, ClusterRadiiBounded) {
+  // Cluster forests have radius < k: parents form chains to the center of
+  // length < k, so the spanner restricted to a cluster is shallow.
+  auto edges = gen_erdos_renyi(100, 800, 11);
+  uint32_t k = 3;
+  auto res = mpvx_spanner(100, edges, k, 13);
+  // The cluster forest is a subset of the spanner; path from any vertex to
+  // its center uses < k edges, checked via BFS in the spanner.
+  DynamicGraph h(100);
+  h.insert_edges(res.spanner);
+  for (VertexId v = 0; v < 100; ++v) {
+    if (res.cluster[v] == kNoVertex || res.cluster[v] == v) continue;
+    auto d = bounded_bfs(h, {v}, k);
+    EXPECT_LE(d[res.cluster[v]], k) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace parspan

@@ -1,0 +1,211 @@
+// Unit + randomized oracle tests for CountedTreap, PriorityList (Lemma 3.1
+// interface), ShardedMap and ConcurrentFixedMap.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "container/concurrent_map.hpp"
+#include "container/counted_treap.hpp"
+#include "container/priority_list.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace parspan {
+namespace {
+
+TEST(CountedTreap, BasicInsertFindErase) {
+  CountedTreap<int> t;
+  EXPECT_TRUE(t.empty());
+  t.insert(10, 100);
+  t.insert(5, 50);
+  t.insert(20, 200);
+  EXPECT_EQ(t.size(), 3u);
+  ASSERT_NE(t.find(10), nullptr);
+  EXPECT_EQ(*t.find(10), 100);
+  EXPECT_EQ(t.find(11), nullptr);
+  EXPECT_TRUE(t.erase(10));
+  EXPECT_FALSE(t.erase(10));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.find(10), nullptr);
+}
+
+TEST(CountedTreap, SelectDescOrderStatistics) {
+  CountedTreap<int> t;
+  for (uint64_t k : {3u, 1u, 4u, 1u + 4, 9u, 2u, 6u}) t.insert(k, int(k));
+  // keys: 1,2,3,4,5,6,9 -> descending: 9,6,5,4,3,2,1
+  std::vector<uint64_t> expect = {9, 6, 5, 4, 3, 2, 1};
+  for (size_t k = 1; k <= expect.size(); ++k)
+    EXPECT_EQ(t.select_desc(k).first, expect[k - 1]) << "k=" << k;
+}
+
+TEST(CountedTreap, RankDesc) {
+  CountedTreap<int> t;
+  for (uint64_t k : {10u, 20u, 30u}) t.insert(k, 0);
+  EXPECT_EQ(t.rank_desc(30), 1u);
+  EXPECT_EQ(t.rank_desc(20), 2u);
+  EXPECT_EQ(t.rank_desc(10), 3u);
+  EXPECT_EQ(t.rank_desc(25), 1u);  // only 30 >= 25
+  EXPECT_EQ(t.rank_desc(5), 3u);
+  EXPECT_EQ(t.rank_desc(31), 0u);
+}
+
+TEST(CountedTreap, ForEachDescFrom) {
+  CountedTreap<int> t;
+  for (uint64_t k = 1; k <= 100; ++k) t.insert(k * 2, int(k));
+  std::vector<uint64_t> seen;
+  t.for_each_desc_from(51, [&](uint64_t key, int&) {
+    seen.push_back(key);
+    return key > 40;  // stop at 40
+  });
+  // keys <= 51 descending: 50,48,...; stop after emitting 40.
+  ASSERT_GE(seen.size(), 2u);
+  EXPECT_EQ(seen.front(), 50u);
+  EXPECT_EQ(seen.back(), 40u);
+  for (size_t i = 1; i < seen.size(); ++i) EXPECT_LT(seen[i], seen[i - 1]);
+}
+
+TEST(CountedTreap, RandomizedAgainstStdMap) {
+  Rng rng(99);
+  CountedTreap<uint64_t> t;
+  std::map<uint64_t, uint64_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t key = rng.next_below(500);
+    int op = int(rng.next_below(3));
+    if (op == 0) {
+      if (!ref.count(key)) {
+        uint64_t v = rng.next();
+        t.insert(key, v);
+        ref[key] = v;
+      }
+    } else if (op == 1) {
+      EXPECT_EQ(t.erase(key), ref.erase(key) > 0);
+    } else {
+      auto* v = t.find(key);
+      auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(v, nullptr);
+      } else {
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, it->second);
+      }
+    }
+    EXPECT_EQ(t.size(), ref.size());
+  }
+  // Full order-statistics sweep at the end.
+  std::vector<uint64_t> keys;
+  for (auto& [k, v] : ref) keys.push_back(k);
+  for (size_t k = 1; k <= keys.size(); ++k)
+    EXPECT_EQ(t.select_desc(k).first, keys[keys.size() - k]);
+}
+
+TEST(PriorityList, PaperInterfaceSemantics) {
+  // Elements 'a'..'e' with priorities 50,40,30,20,10.
+  std::vector<std::pair<char, uint64_t>> init = {
+      {'a', 50}, {'b', 40}, {'c', 30}, {'d', 20}, {'e', 10}};
+  PriorityList<char> pl(init);
+  EXPECT_EQ(pl.size(), 5u);
+  EXPECT_EQ(pl.query(1).second, 'a');
+  EXPECT_EQ(pl.query(5).second, 'e');
+  auto [val, rank] = pl.find(30);
+  ASSERT_TRUE(val.has_value());
+  EXPECT_EQ(*val, 'c');
+  EXPECT_EQ(rank, 3u);
+
+  // UpdatePriority moves 'a' (pos 1) to priority 15 -> new order b,c,d,a,e.
+  pl.update_priority(1, 15);
+  EXPECT_EQ(pl.query(1).second, 'b');
+  EXPECT_EQ(pl.query(4).second, 'a');
+  EXPECT_EQ(pl.query(5).second, 'e');
+
+  // UpdateValue at position 2 ('c' now).
+  pl.update_value(2, 'C');
+  EXPECT_EQ(pl.query(2).second, 'C');
+}
+
+TEST(PriorityList, NextWithFindsFirstSatisfying) {
+  std::vector<std::pair<int, uint64_t>> init;
+  for (int i = 0; i < 100; ++i)
+    init.push_back({i, uint64_t(1000 - i)});  // element i at position i+1
+  PriorityList<int> pl(init);
+  // First element >= position 10 that is divisible by 7: positions are
+  // value+1; values 9,10,...; first divisible by 7 is 14 -> position 15.
+  size_t q = pl.next_with(10, [](int v) { return v % 7 == 0; });
+  EXPECT_EQ(q, 15u);
+  // Nothing satisfies -> size()+1.
+  EXPECT_EQ(pl.next_with(1, [](int) { return false; }), 101u);
+  // First element satisfies.
+  EXPECT_EQ(pl.next_with(42, [](int) { return true; }), 42u);
+}
+
+TEST(ShardedMap, BasicOps) {
+  ShardedMap<uint64_t, int> m;
+  m.insert_or_assign(1, 10);
+  m.insert_or_assign(2, 20);
+  EXPECT_EQ(m.get(1), std::optional<int>(10));
+  EXPECT_FALSE(m.get(3).has_value());
+  m.upsert(3, [](int& v) { v += 5; });
+  EXPECT_EQ(m.get(3), std::optional<int>(5));
+  EXPECT_TRUE(m.erase(2));
+  EXPECT_FALSE(m.erase(2));
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(ShardedMap, ParallelInsertsAllLand) {
+  ShardedMap<uint64_t, uint64_t> m(64);
+  const size_t n = 100000;
+  parallel_for(0, n, [&](size_t i) { m.insert_or_assign(i, i * 3); }, 1);
+  EXPECT_EQ(m.size(), n);
+  for (size_t i = 0; i < n; i += 997) EXPECT_EQ(m.get(i), i * 3);
+}
+
+TEST(ShardedMap, UpdateOrErase) {
+  ShardedMap<int, int> m;
+  m.insert_or_assign(1, 5);
+  EXPECT_TRUE(m.update_or_erase(1, [](int& v) {
+    --v;
+    return v > 0;
+  }));
+  EXPECT_EQ(m.get(1), std::optional<int>(4));
+  for (int i = 0; i < 4; ++i)
+    m.update_or_erase(1, [](int& v) {
+      --v;
+      return v > 0;
+    });
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_FALSE(m.update_or_erase(1, [](int&) { return true; }));
+}
+
+TEST(ConcurrentFixedMap, InsertFind) {
+  ConcurrentFixedMap m(1000);
+  EXPECT_TRUE(m.insert(42, 7));
+  EXPECT_FALSE(m.insert(42, 9));  // first value wins
+  EXPECT_EQ(m.find(42), std::optional<uint64_t>(7));
+  EXPECT_FALSE(m.find(43).has_value());
+}
+
+TEST(ConcurrentFixedMap, ParallelInsertUnique) {
+  const size_t n = 50000;
+  ConcurrentFixedMap m(n);
+  std::atomic<size_t> inserted{0};
+  parallel_for(0, n, [&](size_t i) {
+    if (m.insert(i + 1, i)) inserted.fetch_add(1);
+  }, 1);
+  EXPECT_EQ(inserted.load(), n);
+  EXPECT_EQ(m.size(), n);
+  for (size_t i = 0; i < n; i += 503) EXPECT_EQ(m.find(i + 1), i);
+}
+
+TEST(ConcurrentFixedMap, ParallelDuplicateKeysInsertOnce) {
+  ConcurrentFixedMap m(100);
+  std::atomic<size_t> wins{0};
+  parallel_for(0, 10000, [&](size_t) {
+    if (m.insert(5, 1)) wins.fetch_add(1);
+  }, 1);
+  EXPECT_EQ(wins.load(), 1u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+}  // namespace
+}  // namespace parspan

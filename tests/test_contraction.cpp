@@ -1,0 +1,192 @@
+// Tests for the Contract(G, x) layer (Lemma 4.1) and the nested-contraction
+// sparse spanner (Theorem 1.3).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/contraction.hpp"
+#include "core/sparse_spanner.hpp"
+#include "graph/generators.hpp"
+#include "verify/spanner_check.hpp"
+
+namespace parspan {
+namespace {
+
+TEST(ContractionLayer, InitInvariantsAndLemma41Postconditions) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto edges = gen_erdos_renyi(100, 400, seed);
+    ContractionLayer layer(100, edges, 4.0, seed * 13 + 1);
+    EXPECT_TRUE(layer.check_invariants());
+    EXPECT_GE(layer.next_n(), 1u);
+    // f(y) = y for sampled vertices.
+    for (VertexId v = 0; v < 100; ++v) {
+      if (layer.is_sampled(v)) EXPECT_EQ(layer.head(v), v);
+    }
+    // Every contracted edge has a live representative with matching heads.
+    for (const Edge& p : layer.next_edges()) {
+      Edge r = layer.rep(p);
+      VertexId hu = layer.head(r.u), hv = layer.head(r.v);
+      ASSERT_NE(hu, kNoVertex);
+      ASSERT_NE(hv, kNoVertex);
+      EXPECT_EQ(edge_key(layer.next_id(hu), layer.next_id(hv)), p.key());
+    }
+  }
+}
+
+TEST(ContractionLayer, DeleteAllEdges) {
+  auto edges = gen_erdos_renyi(40, 150, 7);
+  ContractionLayer layer(40, edges, 3.0, 5);
+  auto res = layer.update({}, edges);
+  EXPECT_EQ(layer.alive_edges(), 0u);
+  EXPECT_TRUE(layer.next_edges().empty());
+  EXPECT_EQ(layer.h_size(), 0u);
+  EXPECT_TRUE(layer.check_invariants());
+}
+
+class ContractionRandom
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, double,
+                                                 uint64_t>> {};
+
+TEST_P(ContractionRandom, MixedStreamKeepsInvariants) {
+  auto [n, m, x, seed] = GetParam();
+  auto [initial, batches] = gen_mixed_stream(n, m, 24, 15, seed);
+  ContractionLayer layer(n, initial, x, seed ^ 0xfeed);
+  ASSERT_TRUE(layer.check_invariants());
+  // Track the contracted graph against the layer's reports.
+  std::unordered_set<EdgeKey> next_mat;
+  for (const Edge& e : layer.next_edges()) next_mat.insert(e.key());
+  std::unordered_set<EdgeKey> h_mat;
+  for (const Edge& e : layer.h_edges()) h_mat.insert(e.key());
+
+  for (auto& b : batches) {
+    auto res = layer.update(b.insertions, b.deletions);
+    for (const Edge& e : res.next_del) {
+      ASSERT_TRUE(next_mat.count(e.key()));
+      next_mat.erase(e.key());
+    }
+    for (const Edge& e : res.next_ins) {
+      ASSERT_TRUE(!next_mat.count(e.key()));
+      next_mat.insert(e.key());
+    }
+    for (const Edge& e : res.h_del) {
+      ASSERT_TRUE(h_mat.count(e.key()));
+      h_mat.erase(e.key());
+    }
+    for (const Edge& e : res.h_ins) {
+      ASSERT_TRUE(!h_mat.count(e.key()));
+      h_mat.insert(e.key());
+    }
+    ASSERT_TRUE(layer.check_invariants());
+    // Materialized views agree.
+    ASSERT_EQ(next_mat.size(), layer.next_edges().size());
+    ASSERT_EQ(h_mat.size(), layer.h_size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ContractionRandom,
+    ::testing::Values(std::make_tuple(size_t{30}, size_t{100}, 2.0,
+                                      uint64_t{1}),
+                      std::make_tuple(size_t{50}, size_t{200}, 3.0,
+                                      uint64_t{2}),
+                      std::make_tuple(size_t{80}, size_t{240}, 5.0,
+                                      uint64_t{3}),
+                      std::make_tuple(size_t{25}, size_t{120}, 8.0,
+                                      uint64_t{4})));
+
+TEST(ContractionSchedule, ProductHitsTarget) {
+  for (double target : {4.0, 10.0, 20.0, 200.0, 5000.0}) {
+    auto xs = contraction_schedule(target);
+    double prod = 1;
+    for (double x : xs) {
+      EXPECT_GE(x, 2.0);
+      prod *= x;
+    }
+    EXPECT_GE(prod, target * 0.99);
+  }
+}
+
+TEST(SparseSpanner, InitIsValidAndSparse) {
+  const size_t n = 120;
+  auto edges = gen_erdos_renyi(n, 1200, 3);
+  SparseSpannerConfig cfg;
+  cfg.seed = 17;
+  SparseSpanner sp(n, edges, cfg);
+  EXPECT_TRUE(sp.check_invariants());
+  EXPECT_TRUE(is_spanner(n, edges, sp.spanner_edges(), sp.stretch_bound()))
+      << "stretch_bound=" << sp.stretch_bound();
+  // Theorem 1.3: O(n) edges — generous constant for small n.
+  EXPECT_LE(sp.spanner_size(), 6 * n);
+}
+
+class SparseSpannerRandom
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t,
+                                                 std::vector<double>,
+                                                 uint64_t>> {};
+
+TEST_P(SparseSpannerRandom, MixedStreamKeepsEverything) {
+  auto [n, m, xs, seed] = GetParam();
+  auto [initial, batches] = gen_mixed_stream(n, m, 20, 10, seed);
+  SparseSpannerConfig cfg;
+  cfg.seed = seed * 5 + 3;
+  cfg.xs = xs;
+  SparseSpanner sp(n, initial, cfg);
+  ASSERT_TRUE(sp.check_invariants());
+
+  std::unordered_set<EdgeKey> live, mat;
+  for (const Edge& e : initial) live.insert(e.key());
+  for (const Edge& e : sp.spanner_edges()) mat.insert(e.key());
+
+  for (auto& b : batches) {
+    auto diff = sp.update(b.insertions, b.deletions);
+    for (const Edge& e : b.deletions) live.erase(e.key());
+    for (const Edge& e : b.insertions) live.insert(e.key());
+    for (const Edge& e : diff.removed) {
+      ASSERT_TRUE(mat.count(e.key()));
+      mat.erase(e.key());
+    }
+    for (const Edge& e : diff.inserted) {
+      ASSERT_TRUE(!mat.count(e.key()));
+      mat.insert(e.key());
+    }
+    ASSERT_EQ(mat.size(), sp.spanner_size());
+    ASSERT_TRUE(sp.check_invariants());
+    std::vector<Edge> alive;
+    for (EdgeKey ek : live) alive.push_back(edge_from_key(ek));
+    ASSERT_TRUE(is_spanner(n, alive, sp.spanner_edges(),
+                           sp.stretch_bound()));
+    for (const Edge& e : sp.spanner_edges())
+      ASSERT_TRUE(live.count(e.key()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparseSpannerRandom,
+    ::testing::Values(
+        std::make_tuple(size_t{40}, size_t{160}, std::vector<double>{},
+                        uint64_t{1}),
+        std::make_tuple(size_t{60}, size_t{300}, std::vector<double>{3.0},
+                        uint64_t{2}),
+        std::make_tuple(size_t{60}, size_t{300},
+                        std::vector<double>{2.0, 2.0}, uint64_t{3}),
+        std::make_tuple(size_t{80}, size_t{400},
+                        std::vector<double>{3.0, 2.0, 2.0}, uint64_t{4}),
+        std::make_tuple(size_t{30}, size_t{90}, std::vector<double>{4.0},
+                        uint64_t{5})));
+
+TEST(SparseSpanner, FullDeletionThenRebuild) {
+  auto edges = gen_erdos_renyi(50, 250, 9);
+  SparseSpannerConfig cfg;
+  cfg.seed = 2;
+  cfg.xs = {2.5, 2.0};
+  SparseSpanner sp(50, edges, cfg);
+  sp.delete_edges(edges);
+  EXPECT_EQ(sp.spanner_size(), 0u);
+  EXPECT_TRUE(sp.check_invariants());
+  sp.insert_edges(edges);
+  EXPECT_TRUE(sp.check_invariants());
+  EXPECT_TRUE(is_spanner(50, edges, sp.spanner_edges(), sp.stretch_bound()));
+}
+
+}  // namespace
+}  // namespace parspan

@@ -1,0 +1,162 @@
+// Cross-module failure injection and boundary cases: empty structures,
+// empty batches, self-loops, out-of-range vertices, and pathological
+// graph shapes.
+#include <gtest/gtest.h>
+
+#include "core/bundle.hpp"
+#include "core/fully_dynamic_spanner.hpp"
+#include "core/sparse_spanner.hpp"
+#include "core/sparsifier.hpp"
+#include "core/ultra.hpp"
+#include "graph/generators.hpp"
+#include "verify/spanner_check.hpp"
+
+namespace parspan {
+namespace {
+
+TEST(EdgeCases, EmptyBatchesEverywhere) {
+  auto edges = gen_erdos_renyi(20, 60, 1);
+  FullyDynamicSpannerConfig c1;
+  FullyDynamicSpanner s1(20, edges, c1);
+  auto d1 = s1.update({}, {});
+  EXPECT_TRUE(d1.inserted.empty() && d1.removed.empty());
+
+  SparseSpannerConfig c2;
+  SparseSpanner s2(20, edges, c2);
+  auto d2 = s2.update({}, {});
+  EXPECT_TRUE(d2.inserted.empty() && d2.removed.empty());
+  EXPECT_TRUE(s2.check_invariants());
+
+  UltraConfig c3;
+  UltraSparseSpanner s3(20, edges, c3);
+  auto d3 = s3.update({}, {});
+  EXPECT_TRUE(d3.inserted.empty() && d3.removed.empty());
+  EXPECT_TRUE(s3.check_invariants());
+}
+
+TEST(EdgeCases, SelfLoopsAndOutOfRangeFiltered) {
+  FullyDynamicSpannerConfig cfg;
+  FullyDynamicSpanner sp(10, {{3, 3}, {2, 99}, {200, 1}}, cfg);
+  EXPECT_EQ(sp.num_edges(), 0u);
+  auto d = sp.insert_edges({{4, 4}, {5, 1000}});
+  EXPECT_TRUE(d.inserted.empty());
+  EXPECT_EQ(sp.num_edges(), 0u);
+}
+
+TEST(EdgeCases, StarGraphAllStructures) {
+  // Stars stress head/cluster logic: one huge-degree hub.
+  auto edges = gen_star(60);
+  {
+    FullyDynamicSpannerConfig cfg;
+    cfg.k = 2;
+    FullyDynamicSpanner sp(60, edges, cfg);
+    // A star is a tree: the spanner must keep every edge.
+    EXPECT_EQ(sp.spanner_size(), edges.size());
+    EXPECT_TRUE(sp.check_invariants());
+  }
+  {
+    SparseSpannerConfig cfg;
+    SparseSpanner sp(60, edges, cfg);
+    EXPECT_EQ(sp.spanner_size(), edges.size());
+    EXPECT_TRUE(sp.check_invariants());
+  }
+  {
+    UltraConfig cfg;
+    cfg.x = 2;
+    UltraSparseSpanner sp(60, edges, cfg);
+    EXPECT_EQ(sp.spanner_size(), edges.size());
+    EXPECT_TRUE(sp.check_invariants());
+  }
+}
+
+TEST(EdgeCases, DisconnectedComponentsIndependent) {
+  // Two cliques with no connection.
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 10; ++u)
+    for (VertexId v = u + 1; v < 10; ++v) edges.emplace_back(u, v);
+  for (VertexId u = 10; u < 20; ++u)
+    for (VertexId v = u + 1; v < 20; ++v) edges.emplace_back(u, v);
+  SparseSpannerConfig cfg;
+  cfg.xs = {2.0};
+  SparseSpanner sp(20, edges, cfg);
+  EXPECT_TRUE(sp.check_invariants());
+  EXPECT_TRUE(is_spanner(20, edges, sp.spanner_edges(), sp.stretch_bound()));
+  // Delete one whole clique.
+  std::vector<Edge> half(edges.begin(), edges.begin() + 45);
+  sp.delete_edges(half);
+  EXPECT_TRUE(sp.check_invariants());
+}
+
+TEST(EdgeCases, RepeatedInsertDeleteChurnSameEdge) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  FullyDynamicSpanner sp(6, gen_cycle(6), cfg);
+  for (int round = 0; round < 20; ++round) {
+    sp.delete_edges({{0, 1}});
+    ASSERT_TRUE(sp.check_invariants());
+    sp.insert_edges({{0, 1}});
+    ASSERT_TRUE(sp.check_invariants());
+  }
+  EXPECT_EQ(sp.num_edges(), 6u);
+}
+
+TEST(EdgeCases, BundleWithMoreLevelsThanContent) {
+  // t far larger than needed: the chain stops once a level absorbs all.
+  auto edges = gen_path(15);
+  BundleConfig cfg;
+  cfg.t = 10;
+  SpannerBundle b(15, edges, cfg);
+  EXPECT_LE(b.levels(), 10u);
+  EXPECT_EQ(b.bundle_size(), edges.size());  // trees are fully absorbed
+  EXPECT_TRUE(b.residual_edges().empty());
+  EXPECT_TRUE(b.check_invariants());
+}
+
+TEST(EdgeCases, SparsifierOnTinyGraph) {
+  SparsifierConfig cfg;
+  cfg.t = 2;
+  DecrementalSparsifier sp(5, gen_cycle(5), cfg);
+  // Below min_stage_edges: everything sits in the final stage, weight 1.
+  EXPECT_EQ(sp.size(), 5u);
+  for (auto& we : sp.sparsifier_edges()) EXPECT_DOUBLE_EQ(we.w, 1.0);
+  auto d = sp.delete_edges(gen_cycle(5));
+  EXPECT_EQ(sp.size(), 0u);
+  EXPECT_EQ(d.removed.size(), 5u);
+}
+
+TEST(EdgeCases, UltraWithXLargerThanGraph) {
+  UltraConfig cfg;
+  cfg.x = 8;  // T = 240 >> any degree here: everything light
+  auto edges = gen_erdos_renyi(30, 90, 2);
+  UltraSparseSpanner sp(30, edges, cfg);
+  EXPECT_TRUE(sp.check_invariants());
+  EXPECT_TRUE(is_spanner(30, edges, sp.spanner_edges(), sp.stretch_bound()));
+}
+
+TEST(EdgeCases, GrowFromEmptyToDenseAndBack) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  FullyDynamicSpanner sp(24, {}, cfg);
+  auto all = gen_complete(24);
+  // Insert in odd-sized chunks to exercise the U_r / U_i splitting.
+  for (size_t lo = 0; lo < all.size(); lo += 37) {
+    std::vector<Edge> chunk(
+        all.begin() + lo,
+        all.begin() + std::min(all.size(), lo + 37));
+    sp.insert_edges(chunk);
+    ASSERT_TRUE(sp.check_invariants());
+  }
+  EXPECT_EQ(sp.num_edges(), all.size());
+  EXPECT_TRUE(is_spanner(24, all, sp.spanner_edges(), 3));
+  for (size_t lo = 0; lo < all.size(); lo += 53) {
+    std::vector<Edge> chunk(
+        all.begin() + lo,
+        all.begin() + std::min(all.size(), lo + 53));
+    sp.delete_edges(chunk);
+    ASSERT_TRUE(sp.check_invariants());
+  }
+  EXPECT_EQ(sp.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace parspan

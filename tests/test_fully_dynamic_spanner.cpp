@@ -1,0 +1,149 @@
+// Tests for the fully-dynamic (2k-1)-spanner (Theorem 1.1, Bentley-Saxe
+// reduction over the decremental structure of Lemma 3.3).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/fully_dynamic_spanner.hpp"
+#include "graph/generators.hpp"
+#include "verify/spanner_check.hpp"
+
+namespace parspan {
+namespace {
+
+TEST(FullyDynamicSpanner, EmptyInitThenInsert) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 3;
+  FullyDynamicSpanner sp(30, {}, cfg);
+  EXPECT_EQ(sp.num_edges(), 0u);
+  EXPECT_EQ(sp.spanner_size(), 0u);
+  auto edges = gen_erdos_renyi(30, 100, 3);
+  auto diff = sp.insert_edges(edges);
+  EXPECT_EQ(sp.num_edges(), 100u);
+  EXPECT_EQ(diff.inserted.size(), sp.spanner_size());
+  EXPECT_TRUE(diff.removed.empty());
+  EXPECT_TRUE(sp.check_invariants());
+  EXPECT_TRUE(is_spanner(30, edges, sp.spanner_edges(), 5));
+}
+
+TEST(FullyDynamicSpanner, InsertDuplicatesIgnored) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  auto edges = gen_cycle(12);
+  FullyDynamicSpanner sp(12, edges, cfg);
+  size_t before = sp.num_edges();
+  auto diff = sp.insert_edges(edges);  // all duplicates
+  EXPECT_EQ(sp.num_edges(), before);
+  EXPECT_TRUE(diff.inserted.empty());
+  EXPECT_TRUE(diff.removed.empty());
+}
+
+TEST(FullyDynamicSpanner, DeleteThenReinsertSameBatch) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  auto edges = gen_erdos_renyi(20, 60, 5);
+  FullyDynamicSpanner sp(20, edges, cfg);
+  // Delete 10 edges and re-insert 5 of them in the same batch.
+  std::vector<Edge> del(edges.begin(), edges.begin() + 10);
+  std::vector<Edge> ins(edges.begin(), edges.begin() + 5);
+  sp.update(ins, del);
+  EXPECT_EQ(sp.num_edges(), 55u);
+  EXPECT_TRUE(sp.check_invariants());
+}
+
+class FdSpannerRandom : public ::testing::TestWithParam<
+                            std::tuple<size_t, size_t, uint32_t, size_t,
+                                       uint64_t>> {};
+
+TEST_P(FdSpannerRandom, MixedStreamKeepsSpannerAndDiffs) {
+  auto [n, m, k, batch, seed] = GetParam();
+  auto [initial, batches] = gen_mixed_stream(n, m, batch, 12, seed);
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = k;
+  cfg.seed = seed * 31 + 7;
+  FullyDynamicSpanner sp(n, initial, cfg);
+  ASSERT_TRUE(sp.check_invariants());
+
+  std::unordered_set<EdgeKey> live, mat;
+  for (const Edge& e : initial) live.insert(e.key());
+  for (const Edge& e : sp.spanner_edges()) mat.insert(e.key());
+
+  for (auto& b : batches) {
+    auto diff = sp.update(b.insertions, b.deletions);
+    for (const Edge& e : b.deletions) live.erase(e.key());
+    for (const Edge& e : b.insertions) live.insert(e.key());
+    for (const Edge& e : diff.removed) {
+      ASSERT_TRUE(mat.count(e.key()));
+      mat.erase(e.key());
+    }
+    for (const Edge& e : diff.inserted) {
+      ASSERT_TRUE(!mat.count(e.key()));
+      mat.insert(e.key());
+    }
+    ASSERT_EQ(live.size(), sp.num_edges());
+    ASSERT_EQ(mat.size(), sp.spanner_size());
+    ASSERT_TRUE(sp.check_invariants());
+    // Spanner property over the live graph.
+    std::vector<Edge> alive;
+    for (EdgeKey ek : live) alive.push_back(edge_from_key(ek));
+    ASSERT_TRUE(is_spanner(n, alive, sp.spanner_edges(), 2 * k - 1));
+    // Spanner subset of live edges.
+    for (const Edge& e : sp.spanner_edges())
+      ASSERT_TRUE(live.count(e.key()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FdSpannerRandom,
+    ::testing::Values(
+        std::make_tuple(size_t{20}, size_t{50}, uint32_t{2}, size_t{10},
+                        uint64_t{1}),
+        std::make_tuple(size_t{30}, size_t{100}, uint32_t{3}, size_t{20},
+                        uint64_t{2}),
+        std::make_tuple(size_t{40}, size_t{150}, uint32_t{2}, size_t{40},
+                        uint64_t{3}),
+        std::make_tuple(size_t{50}, size_t{120}, uint32_t{4}, size_t{16},
+                        uint64_t{4}),
+        std::make_tuple(size_t{25}, size_t{80}, uint32_t{3}, size_t{6},
+                        uint64_t{5}),
+        std::make_tuple(size_t{60}, size_t{240}, uint32_t{3}, size_t{50},
+                        uint64_t{6})));
+
+TEST(FullyDynamicSpanner, ManySmallBatchesTriggerRebuilds) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  FullyDynamicSpanner sp(16, {}, cfg);
+  Rng rng(11);
+  std::unordered_set<EdgeKey> live;
+  for (int round = 0; round < 60; ++round) {
+    std::vector<Edge> ins;
+    for (int i = 0; i < 3; ++i) {
+      VertexId u = VertexId(rng.next_below(16));
+      VertexId v = VertexId(rng.next_below(16));
+      if (u != v && !live.count(edge_key(u, v))) {
+        ins.emplace_back(u, v);
+        live.insert(edge_key(u, v));
+      }
+    }
+    sp.insert_edges(ins);
+    ASSERT_TRUE(sp.check_invariants());
+  }
+  std::vector<Edge> alive;
+  for (EdgeKey ek : live) alive.push_back(edge_from_key(ek));
+  EXPECT_TRUE(is_spanner(16, alive, sp.spanner_edges(), 3));
+}
+
+TEST(FullyDynamicSpanner, FullDeletionEmptiesSpanner) {
+  auto edges = gen_erdos_renyi(24, 80, 7);
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 3;
+  FullyDynamicSpanner sp(24, edges, cfg);
+  auto diff = sp.delete_edges(edges);
+  EXPECT_EQ(sp.num_edges(), 0u);
+  EXPECT_EQ(sp.spanner_size(), 0u);
+  EXPECT_TRUE(diff.inserted.empty());
+  EXPECT_TRUE(sp.check_invariants());
+}
+
+}  // namespace
+}  // namespace parspan

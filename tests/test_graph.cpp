@@ -1,0 +1,204 @@
+// Tests for DynamicGraph, generators and bounded BFS (Lemma 3.2 oracle).
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "graph/bfs.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace parspan {
+namespace {
+
+TEST(DynamicGraph, InsertEraseBasics) {
+  DynamicGraph g(5);
+  auto ins = g.insert_edges({{0, 1}, {1, 2}, {1, 0}, {3, 3}, {0, 1}});
+  EXPECT_EQ(ins.size(), 2u);  // {0,1} once, {1,2}; self-loop dropped
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  auto del = g.erase_edges({{1, 0}, {0, 2}});
+  EXPECT_EQ(del.size(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(DynamicGraph, RandomizedAgainstSetOracle) {
+  Rng rng(123);
+  const size_t n = 60;
+  DynamicGraph g(n);
+  std::set<EdgeKey> oracle;
+  for (int step = 0; step < 300; ++step) {
+    std::vector<Edge> batch;
+    for (int i = 0; i < 20; ++i) {
+      VertexId u = VertexId(rng.next_below(n));
+      VertexId v = VertexId(rng.next_below(n));
+      if (u != v) batch.emplace_back(u, v);
+    }
+    if (rng.next_bool(0.5)) {
+      auto applied = g.insert_edges(batch);
+      std::set<EdgeKey> expect_applied;
+      for (auto& e : batch)
+        if (!oracle.count(e.key())) expect_applied.insert(e.key());
+      EXPECT_EQ(applied.size(), expect_applied.size());
+      for (auto& e : batch) oracle.insert(e.key());
+    } else {
+      auto applied = g.erase_edges(batch);
+      std::set<EdgeKey> expect_applied;
+      for (auto& e : batch)
+        if (oracle.count(e.key())) expect_applied.insert(e.key());
+      EXPECT_EQ(applied.size(), expect_applied.size());
+      for (auto& e : batch) oracle.erase(e.key());
+    }
+    ASSERT_EQ(g.num_edges(), oracle.size());
+  }
+  // Final adjacency cross-check.
+  for (EdgeKey k : oracle) {
+    Edge e = edge_from_key(k);
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+  }
+  auto edges = g.edges();
+  EXPECT_EQ(edges.size(), oracle.size());
+}
+
+TEST(Generators, ErdosRenyiCounts) {
+  auto edges = gen_erdos_renyi(100, 500, 7);
+  EXPECT_EQ(edges.size(), 500u);
+  std::unordered_set<EdgeKey> keys;
+  for (auto& e : edges) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LT(e.u, 100u);
+    EXPECT_LT(e.v, 100u);
+    keys.insert(e.key());
+  }
+  EXPECT_EQ(keys.size(), 500u);
+}
+
+TEST(Generators, ErdosRenyiDenseClamps) {
+  auto edges = gen_erdos_renyi(10, 1000, 7);
+  EXPECT_EQ(edges.size(), 45u);  // complete graph
+}
+
+TEST(Generators, GridHasRightEdgeCount) {
+  auto edges = gen_grid(5, 7);
+  // 5*6 horizontal + 4*7 vertical = 30 + 28
+  EXPECT_EQ(edges.size(), 58u);
+}
+
+TEST(Generators, RandomRegularDegreesBounded) {
+  auto edges = gen_random_regular(200, 8, 3);
+  std::vector<size_t> deg(200, 0);
+  for (auto& e : edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  for (size_t v = 0; v < 200; ++v) EXPECT_LE(deg[v], 8u);
+  EXPECT_GE(edges.size(), 200u * 8 / 2 / 2);  // at least half survive dedup
+}
+
+TEST(Generators, DecrementalStreamCoversAllEdges) {
+  auto edges = gen_erdos_renyi(50, 200, 11);
+  auto batches = gen_decremental_stream(edges, 32, 5);
+  size_t total = 0;
+  std::unordered_set<EdgeKey> seen;
+  for (auto& b : batches) {
+    EXPECT_TRUE(b.insertions.empty());
+    EXPECT_LE(b.deletions.size(), 32u);
+    for (auto& e : b.deletions) seen.insert(e.key());
+    total += b.deletions.size();
+  }
+  EXPECT_EQ(total, 200u);
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(Generators, SlidingWindowConsistent) {
+  auto [initial, batches] = gen_sliding_window(100, 2000, 500, 50, 10, 13);
+  EXPECT_EQ(initial.size(), 500u);
+  DynamicGraph g(100);
+  g.insert_edges(initial);
+  for (auto& b : batches) {
+    auto ins = g.insert_edges(b.insertions);
+    EXPECT_EQ(ins.size(), b.insertions.size());  // all new
+    auto del = g.erase_edges(b.deletions);
+    EXPECT_EQ(del.size(), b.deletions.size());  // all live
+  }
+}
+
+TEST(Generators, MixedStreamKeepsInvariants) {
+  auto [initial, batches] = gen_mixed_stream(80, 400, 40, 20, 17);
+  DynamicGraph g(80);
+  g.insert_edges(initial);
+  for (auto& b : batches) {
+    for (auto& e : b.deletions) EXPECT_TRUE(g.has_edge(e.u, e.v));
+    g.erase_edges(b.deletions);
+    for (auto& e : b.insertions) EXPECT_FALSE(g.has_edge(e.u, e.v));
+    g.insert_edges(b.insertions);
+  }
+}
+
+std::vector<uint32_t> serial_bfs(const DynamicGraph& g, VertexId s,
+                                 uint32_t L) {
+  std::vector<uint32_t> dist(g.num_vertices(), L + 1);
+  std::queue<VertexId> q;
+  dist[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    VertexId u = q.front();
+    q.pop();
+    if (dist[u] >= L) continue;
+    for (VertexId w : g.neighbors(u)) {
+      if (dist[w] == L + 1) {
+        dist[w] = dist[u] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(BoundedBfs, MatchesSerialOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    DynamicGraph g(300);
+    g.insert_edges(gen_erdos_renyi(300, 900, seed));
+    for (uint32_t L : {1u, 3u, 10u, 300u}) {
+      auto par = bounded_bfs(g, {0}, L);
+      auto ser = serial_bfs(g, 0, L);
+      EXPECT_EQ(par, ser) << "seed=" << seed << " L=" << L;
+    }
+  }
+}
+
+TEST(BoundedBfs, GridDistancesExact) {
+  DynamicGraph g(25);
+  g.insert_edges(gen_grid(5, 5));
+  auto d = bounded_bfs(g, {0}, 8);
+  for (size_t r = 0; r < 5; ++r)
+    for (size_t c = 0; c < 5; ++c) EXPECT_EQ(d[r * 5 + c], r + c);
+}
+
+TEST(BoundedBfs, MultiSource) {
+  DynamicGraph g(10);
+  g.insert_edges(gen_path(10));
+  auto d = bounded_bfs(g, {0, 9}, 10);
+  for (size_t v = 0; v < 10; ++v)
+    EXPECT_EQ(d[v], std::min(v, 9 - v));
+}
+
+TEST(BoundedBfs, UnreachableGetsLPlusOne) {
+  DynamicGraph g(6);
+  g.insert_edges({{0, 1}, {1, 2}});
+  auto d = bounded_bfs(g, {0}, 4);
+  EXPECT_EQ(d[3], 5u);
+  EXPECT_EQ(d[4], 5u);
+  auto full = bfs_distances(g, 0);
+  EXPECT_EQ(full[3], kUnreached);
+  EXPECT_EQ(full[2], 2u);
+}
+
+}  // namespace
+}  // namespace parspan

@@ -1,0 +1,169 @@
+// Tests for the monotone O(log n)-spanner (Lemma 6.4) and the t-bundle
+// spanner (Theorem 1.5).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/bundle.hpp"
+#include "core/mpx_spanner.hpp"
+#include "graph/generators.hpp"
+#include "verify/spanner_check.hpp"
+
+namespace parspan {
+namespace {
+
+std::vector<Edge> minus(const std::vector<Edge>& a,
+                        const std::vector<Edge>& b) {
+  std::unordered_set<EdgeKey> drop;
+  for (const Edge& e : b) drop.insert(e.key());
+  std::vector<Edge> out;
+  for (const Edge& e : a)
+    if (!drop.count(e.key())) out.push_back(e);
+  return out;
+}
+
+TEST(MonotoneSpanner, InitCoversAllEdges) {
+  for (uint64_t seed : {1u, 2u}) {
+    auto edges = gen_erdos_renyi(60, 300, seed);
+    MonotoneSpannerConfig cfg;
+    cfg.seed = seed + 100;
+    MonotoneSpanner sp(60, edges, cfg);
+    EXPECT_TRUE(sp.check_invariants());
+    EXPECT_TRUE(is_spanner(60, edges, sp.spanner_edges(), sp.stretch_bound()))
+        << "stretch_bound=" << sp.stretch_bound();
+  }
+}
+
+TEST(MonotoneSpanner, DecrementalStreamStaysValid) {
+  auto edges = gen_erdos_renyi(40, 160, 3);
+  MonotoneSpannerConfig cfg;
+  cfg.seed = 7;
+  MonotoneSpanner sp(40, edges, cfg);
+  std::unordered_set<EdgeKey> mat;
+  for (const Edge& e : sp.spanner_edges()) mat.insert(e.key());
+  auto stream = gen_decremental_stream(edges, 20, 9);
+  std::vector<Edge> alive = edges;
+  for (auto& b : stream) {
+    auto diff = sp.delete_edges(b.deletions);
+    for (const Edge& e : diff.removed) {
+      ASSERT_TRUE(mat.count(e.key()));
+      mat.erase(e.key());
+    }
+    for (const Edge& e : diff.inserted) {
+      ASSERT_TRUE(!mat.count(e.key()));
+      mat.insert(e.key());
+    }
+    alive = minus(alive, b.deletions);
+    ASSERT_EQ(mat.size(), sp.spanner_size());
+    ASSERT_TRUE(sp.check_invariants());
+    ASSERT_TRUE(is_spanner(40, alive, sp.spanner_edges(),
+                           sp.stretch_bound()));
+  }
+  EXPECT_EQ(sp.spanner_size(), 0u);
+}
+
+TEST(MonotoneSpanner, RecourseIsMonotoneBounded) {
+  // Lemma 6.4: total recourse over a full deletion sequence is
+  // O(n log^3 n), independent of m. We check it does not scale with m.
+  const size_t n = 50;
+  auto edges = gen_erdos_renyi(n, 600, 4);
+  MonotoneSpannerConfig cfg;
+  cfg.seed = 13;
+  MonotoneSpanner sp(n, edges, cfg);
+  auto stream = gen_decremental_stream(edges, 25, 17);
+  for (auto& b : stream) sp.delete_edges(b.deletions);
+  double logn = std::log2(double(n));
+  EXPECT_LT(double(sp.cumulative_recourse()),
+            40.0 * double(n) * logn * logn * logn);
+}
+
+TEST(SpannerBundle, InitLevelsAreSpanners) {
+  auto edges = gen_erdos_renyi(50, 350, 5);
+  BundleConfig cfg;
+  cfg.t = 3;
+  cfg.seed = 21;
+  SpannerBundle b(50, edges, cfg);
+  EXPECT_TRUE(b.check_invariants());
+  std::vector<Edge> remaining = edges;
+  for (size_t i = 0; i < b.levels(); ++i) {
+    auto hi = b.level_edges(i);
+    EXPECT_TRUE(
+        is_spanner(50, remaining, hi, b.level_stretch_bound(i)))
+        << "level " << i;
+    remaining = minus(remaining, hi);
+  }
+  // Residual = edges minus all levels.
+  auto resid = b.residual_edges();
+  EXPECT_EQ(resid.size(), remaining.size());
+}
+
+class BundleRandom
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint32_t,
+                                                 size_t, uint64_t>> {};
+
+TEST_P(BundleRandom, DecrementalStreamKeepsBundleProperty) {
+  auto [n, m, t, batch, seed] = GetParam();
+  auto edges = gen_erdos_renyi(n, m, seed);
+  BundleConfig cfg;
+  cfg.t = t;
+  cfg.seed = seed ^ 0xb0b;
+  SpannerBundle b(n, edges, cfg);
+  ASSERT_TRUE(b.check_invariants());
+  std::unordered_set<EdgeKey> mat;
+  for (const Edge& e : b.bundle_edges()) mat.insert(e.key());
+
+  auto stream = gen_decremental_stream(edges, batch, seed ^ 0xcafe);
+  std::vector<Edge> alive = edges;
+  for (auto& bb : stream) {
+    auto diff = b.delete_edges(bb.deletions);
+    alive = minus(alive, bb.deletions);
+    for (const Edge& e : diff.removed) {
+      ASSERT_TRUE(mat.count(e.key()));
+      mat.erase(e.key());
+    }
+    for (const Edge& e : diff.inserted) {
+      ASSERT_TRUE(!mat.count(e.key()));
+      mat.insert(e.key());
+    }
+    ASSERT_EQ(mat.size(), b.bundle_size());
+    ASSERT_TRUE(b.check_invariants());
+    // Per-level spanner property on the live graph.
+    std::vector<Edge> remaining = alive;
+    for (size_t i = 0; i < b.levels(); ++i) {
+      auto hi = b.level_edges(i);
+      ASSERT_TRUE(is_spanner(n, remaining, hi, b.level_stretch_bound(i)))
+          << "level " << i << " after a batch";
+      remaining = minus(remaining, hi);
+    }
+  }
+  EXPECT_EQ(b.bundle_size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BundleRandom,
+    ::testing::Values(
+        std::make_tuple(size_t{25}, size_t{120}, uint32_t{2}, size_t{15},
+                        uint64_t{1}),
+        std::make_tuple(size_t{30}, size_t{200}, uint32_t{3}, size_t{25},
+                        uint64_t{2}),
+        std::make_tuple(size_t{40}, size_t{250}, uint32_t{2}, size_t{40},
+                        uint64_t{3}),
+        std::make_tuple(size_t{20}, size_t{100}, uint32_t{4}, size_t{10},
+                        uint64_t{4})));
+
+TEST(SpannerBundle, AmortizedRecourseIsConstant) {
+  // Theorem 1.5: amortized |δ| per deleted edge is O(1). Every edge enters
+  // and leaves the bundle at most once, so cumulative recourse <= 2m + |B0|.
+  auto edges = gen_erdos_renyi(40, 300, 8);
+  BundleConfig cfg;
+  cfg.t = 3;
+  cfg.seed = 5;
+  SpannerBundle b(40, edges, cfg);
+  size_t b0 = b.bundle_size();
+  auto stream = gen_decremental_stream(edges, 30, 6);
+  for (auto& bb : stream) b.delete_edges(bb.deletions);
+  EXPECT_LE(b.cumulative_recourse(), 2 * edges.size() + b0);
+}
+
+}  // namespace
+}  // namespace parspan

@@ -1,0 +1,109 @@
+// Unit tests for the parallel sequence primitives and RNG utilities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "parallel/primitives.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace parspan {
+namespace {
+
+TEST(Scan, EmptyAndSingle) {
+  std::vector<uint64_t> xs;
+  EXPECT_EQ(exclusive_scan_inplace(xs), 0u);
+  xs = {7};
+  EXPECT_EQ(exclusive_scan_inplace(xs), 7u);
+  EXPECT_EQ(xs[0], 0u);
+}
+
+TEST(Scan, MatchesSerialLarge) {
+  Rng rng(42);
+  std::vector<uint64_t> xs(100000);
+  for (auto& x : xs) x = rng.next_below(100);
+  std::vector<uint64_t> expect(xs.size());
+  uint64_t acc = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    expect[i] = acc;
+    acc += xs[i];
+  }
+  EXPECT_EQ(exclusive_scan_inplace(xs), acc);
+  EXPECT_EQ(xs, expect);
+}
+
+TEST(Pack, KeepsOrderAndContent) {
+  std::vector<int> xs(50000);
+  std::iota(xs.begin(), xs.end(), 0);
+  auto evens = filter(xs, [](int x) { return x % 2 == 0; });
+  ASSERT_EQ(evens.size(), 25000u);
+  for (size_t i = 0; i < evens.size(); ++i) EXPECT_EQ(evens[i], int(2 * i));
+}
+
+TEST(Sort, MatchesStdSort) {
+  Rng rng(7);
+  std::vector<uint64_t> xs(200000);
+  for (auto& x : xs) x = rng.next();
+  auto expect = xs;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(xs);
+  EXPECT_EQ(xs, expect);
+}
+
+TEST(SortUnique, RemovesDuplicates) {
+  Rng rng(9);
+  std::vector<uint64_t> xs(30000);
+  for (auto& x : xs) x = rng.next_below(1000);
+  sort_unique(xs);
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+  EXPECT_EQ(std::unique(xs.begin(), xs.end()), xs.end());
+  EXPECT_LE(xs.size(), 1000u);
+}
+
+TEST(Rng, ExponentialMeanRoughlyOneOverBeta) {
+  Rng rng(3);
+  double beta = 2.5, sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(beta);
+  EXPECT_NEAR(sum / n, 1.0 / beta, 0.01);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t x = rng.next_below(17);
+    EXPECT_LT(x, 17u);
+  }
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng rng(11);
+  Rng a = rng.split(0), b = rng.split(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(EdgeKey, RoundTripAndCanonical) {
+  EXPECT_EQ(edge_key(3, 5), edge_key(5, 3));
+  auto [u, v] = edge_endpoints(edge_key(9, 2));
+  EXPECT_EQ(u, 2u);
+  EXPECT_EQ(v, 9u);
+  Edge e(10, 4);
+  EXPECT_EQ(e.other(10), 4u);
+  EXPECT_EQ(e.other(4), 10u);
+  EXPECT_EQ(e, Edge(4, 10));
+}
+
+TEST(Reduce, SumMatches) {
+  std::vector<int> xs(100000, 1);
+  auto total = parallel_reduce(
+      0, xs.size(), 0L, [&](size_t i) { return long(xs[i]); },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(total, 100000L);
+}
+
+}  // namespace
+}  // namespace parspan

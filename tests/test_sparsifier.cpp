@@ -1,0 +1,156 @@
+// Tests for the spectral sparsifier chain (Lemma 6.6) and the fully-dynamic
+// wrapper (Theorem 1.6).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "core/sparsifier.hpp"
+#include "graph/generators.hpp"
+#include "verify/laplacian.hpp"
+
+namespace parspan {
+namespace {
+
+// Applies a weighted diff to a materialized (edge -> weight) map and checks
+// consistency.
+void apply_diff(std::map<std::pair<EdgeKey, double>, int>& mat,
+                const WeightedDiff& d) {
+  for (const WeightedEdge& we : d.removed) {
+    auto it = mat.find({we.e.key(), we.w});
+    ASSERT_TRUE(it != mat.end()) << "removing absent weighted edge";
+    mat.erase(it);
+  }
+  for (const WeightedEdge& we : d.inserted) {
+    auto ins = mat.emplace(std::pair<EdgeKey, double>{we.e.key(), we.w}, 1);
+    ASSERT_TRUE(ins.second) << "inserting duplicate weighted edge";
+  }
+}
+
+TEST(DecrementalSparsifier, InitStructureConsistent) {
+  auto edges = gen_erdos_renyi(60, 500, 2);
+  SparsifierConfig cfg;
+  cfg.t = 2;
+  cfg.seed = 11;
+  DecrementalSparsifier sp(60, edges, cfg);
+  EXPECT_TRUE(sp.check_invariants());
+  EXPECT_GT(sp.num_stages(), 0u);
+  EXPECT_LE(sp.size(), edges.size());
+  // Total weight should roughly preserve total edge mass (each stage
+  // reweights by 1/rate to compensate sampling).
+  double total = 0;
+  for (const auto& we : sp.sparsifier_edges()) total += we.w;
+  EXPECT_GT(total, 0.25 * double(edges.size()));
+  EXPECT_LT(total, 6.0 * double(edges.size()));
+}
+
+TEST(DecrementalSparsifier, QualityImprovesWithT) {
+  auto edges = gen_erdos_renyi(80, 1500, 3);
+  double prev_err = 1e9;
+  for (uint32_t t : {1u, 4u}) {
+    SparsifierConfig cfg;
+    cfg.t = t;
+    cfg.seed = 19;
+    DecrementalSparsifier sp(80, edges, cfg);
+    auto q = sparsifier_quality(80, edges, sp.sparsifier_edges(), 30, 30,
+                                123);
+    // Not a strict monotonicity guarantee per-seed, but t=4 must be decent.
+    if (t == 4) {
+      EXPECT_LT(q.max_cut_err, 0.9);
+      EXPECT_LT(q.max_form_err, 1.2);
+    }
+    prev_err = std::min(prev_err, q.max_cut_err);
+  }
+}
+
+class SparsifierRandom
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint32_t,
+                                                 size_t, uint64_t>> {};
+
+TEST_P(SparsifierRandom, DecrementalDiffsConsistent) {
+  auto [n, m, t, batch, seed] = GetParam();
+  auto edges = gen_erdos_renyi(n, m, seed);
+  SparsifierConfig cfg;
+  cfg.t = t;
+  cfg.seed = seed * 3 + 1;
+  DecrementalSparsifier sp(n, edges, cfg);
+  ASSERT_TRUE(sp.check_invariants());
+  std::map<std::pair<EdgeKey, double>, int> mat;
+  for (const auto& we : sp.sparsifier_edges())
+    mat.emplace(std::pair<EdgeKey, double>{we.e.key(), we.w}, 1);
+
+  auto stream = gen_decremental_stream(edges, batch, seed ^ 0xabc);
+  std::unordered_set<EdgeKey> dead;
+  for (auto& b : stream) {
+    auto diff = sp.delete_edges(b.deletions);
+    apply_diff(mat, diff);
+    for (const Edge& e : b.deletions) dead.insert(e.key());
+    ASSERT_EQ(mat.size(), sp.size());
+    ASSERT_TRUE(sp.check_invariants());
+    // No dead edge may remain in the sparsifier.
+    for (const auto& we : sp.sparsifier_edges())
+      ASSERT_FALSE(dead.count(we.e.key()));
+  }
+  EXPECT_EQ(sp.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparsifierRandom,
+    ::testing::Values(
+        std::make_tuple(size_t{25}, size_t{150}, uint32_t{2}, size_t{20},
+                        uint64_t{1}),
+        std::make_tuple(size_t{35}, size_t{250}, uint32_t{1}, size_t{35},
+                        uint64_t{2}),
+        std::make_tuple(size_t{30}, size_t{200}, uint32_t{3}, size_t{15},
+                        uint64_t{3})));
+
+TEST(FullyDynamicSparsifier, MixedStreamConsistent) {
+  auto [initial, batches] = gen_mixed_stream(30, 150, 30, 8, 77);
+  FullyDynamicSparsifierConfig cfg;
+  cfg.stage.t = 2;
+  cfg.seed = 5;
+  FullyDynamicSparsifier sp(30, initial, cfg);
+  ASSERT_TRUE(sp.check_invariants());
+  std::map<std::pair<EdgeKey, double>, int> mat;
+  for (const auto& we : sp.sparsifier_edges())
+    mat.emplace(std::pair<EdgeKey, double>{we.e.key(), we.w}, 1);
+  std::unordered_set<EdgeKey> live;
+  for (const Edge& e : initial) live.insert(e.key());
+
+  for (auto& b : batches) {
+    auto diff = sp.update(b.insertions, b.deletions);
+    apply_diff(mat, diff);
+    for (const Edge& e : b.deletions) live.erase(e.key());
+    for (const Edge& e : b.insertions) live.insert(e.key());
+    ASSERT_EQ(live.size(), sp.num_edges());
+    ASSERT_EQ(mat.size(), sp.size());
+    ASSERT_TRUE(sp.check_invariants());
+    for (const auto& we : sp.sparsifier_edges())
+      ASSERT_TRUE(live.count(we.e.key()));
+  }
+}
+
+TEST(FullyDynamicSparsifier, QualityOnStaticGraph) {
+  auto edges = gen_erdos_renyi(60, 900, 9);
+  FullyDynamicSparsifierConfig cfg;
+  cfg.stage.t = 4;
+  cfg.seed = 3;
+  FullyDynamicSparsifier sp(60, edges, cfg);
+  auto q = sparsifier_quality(60, edges, sp.sparsifier_edges(), 30, 30, 55);
+  EXPECT_LT(q.max_cut_err, 0.9);
+}
+
+TEST(FullyDynamicSparsifier, EmptyAndTiny) {
+  FullyDynamicSparsifierConfig cfg;
+  FullyDynamicSparsifier sp(10, {}, cfg);
+  EXPECT_EQ(sp.size(), 0u);
+  auto d = sp.update({{0, 1}, {1, 2}}, {});
+  EXPECT_EQ(sp.num_edges(), 2u);
+  EXPECT_TRUE(sp.check_invariants());
+  sp.update({}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(sp.size(), 0u);
+  EXPECT_TRUE(sp.check_invariants());
+}
+
+}  // namespace
+}  // namespace parspan

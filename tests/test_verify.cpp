@@ -1,0 +1,80 @@
+// Self-tests for the verification oracles: a broken oracle would silently
+// green-light broken structures, so the oracles themselves are tested
+// against hand-computed cases.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "verify/laplacian.hpp"
+#include "verify/spanner_check.hpp"
+
+namespace parspan {
+namespace {
+
+TEST(SpannerCheck, AcceptsSelfAndRejectsNonSubset) {
+  auto g = gen_cycle(6);
+  EXPECT_TRUE(is_spanner(6, g, g, 1));
+  // Spanner with an edge not in the graph must be rejected.
+  auto h = g;
+  h.emplace_back(0, 3);
+  EXPECT_FALSE(is_spanner(6, g, h, 10));
+}
+
+TEST(SpannerCheck, DetectsStretchViolation) {
+  // Cycle minus one edge: remaining path has stretch n-1 for that edge.
+  auto g = gen_cycle(8);
+  std::vector<Edge> h(g.begin(), g.end() - 1);  // drop edge (7,0)
+  EXPECT_FALSE(is_spanner(8, g, h, 6));
+  EXPECT_TRUE(is_spanner(8, g, h, 7));
+  EXPECT_EQ(max_edge_stretch(8, g, h, 7), 7u);
+  EXPECT_EQ(max_edge_stretch(8, g, h, 6), UINT32_MAX);
+}
+
+TEST(SpannerCheck, DisconnectedSpannerRejected) {
+  auto g = gen_path(5);
+  std::vector<Edge> h = {{0, 1}, {3, 4}};  // misses (1,2),(2,3)
+  EXPECT_FALSE(is_spanner(5, g, h, 100));
+}
+
+TEST(SpannerCheck, EmptyGraphTriviallySpanned) {
+  EXPECT_TRUE(is_spanner(4, {}, {}, 1));
+}
+
+TEST(Laplacian, QuadraticFormMatchesHandComputation) {
+  // Triangle with unit weights; x = (1, 0, -1):
+  // (1-0)^2 + (0-(-1))^2 + (1-(-1))^2 = 1 + 1 + 4 = 6.
+  std::vector<WeightedEdge> tri = {
+      {{0, 1}, 1.0}, {{1, 2}, 1.0}, {{0, 2}, 1.0}};
+  EXPECT_DOUBLE_EQ(quadratic_form(tri, {1, 0, -1}), 6.0);
+  // Doubling weights doubles the form.
+  for (auto& we : tri) we.w = 2.0;
+  EXPECT_DOUBLE_EQ(quadratic_form(tri, {1, 0, -1}), 12.0);
+}
+
+TEST(Laplacian, CutWeightMatchesHandComputation) {
+  std::vector<WeightedEdge> path = {
+      {{0, 1}, 1.0}, {{1, 2}, 3.0}, {{2, 3}, 5.0}};
+  std::vector<uint8_t> s = {1, 1, 0, 0};  // cut between 1 and 2
+  EXPECT_DOUBLE_EQ(cut_weight(path, s), 3.0);
+  s = {1, 0, 1, 0};  // edges (0,1),(1,2),(2,3) all cross
+  EXPECT_DOUBLE_EQ(cut_weight(path, s), 9.0);
+}
+
+TEST(Laplacian, PerfectSparsifierHasZeroError) {
+  auto g = gen_erdos_renyi(30, 120, 3);
+  std::vector<WeightedEdge> h;
+  for (const Edge& e : g) h.push_back({e, 1.0});
+  auto q = sparsifier_quality(30, g, h, 10, 10, 5);
+  EXPECT_DOUBLE_EQ(q.max_form_err, 0.0);
+  EXPECT_DOUBLE_EQ(q.max_cut_err, 0.0);
+}
+
+TEST(Laplacian, HalfGraphHasLargeError) {
+  auto g = gen_erdos_renyi(30, 200, 7);
+  std::vector<WeightedEdge> h;
+  for (size_t i = 0; i < g.size() / 2; ++i) h.push_back({g[i], 1.0});
+  auto q = sparsifier_quality(30, g, h, 10, 10, 5);
+  EXPECT_GT(q.max_cut_err, 0.2);
+}
+
+}  // namespace
+}  // namespace parspan
