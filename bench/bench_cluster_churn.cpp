@@ -38,6 +38,31 @@ BENCHMARK(BM_ClusterChurn)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// Construction cost of one decremental instance. This is the path the
+// fully-dynamic layer (Theorem 1.1) pays on every partition rebuild, so its
+// constant factor dominates insertion-heavy workloads.
+void BM_ClusterConstruct(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  uint32_t k = uint32_t(state.range(1));
+  auto edges = gen_erdos_renyi(n, 8 * n, 3);
+  ClusterSpannerConfig cfg;
+  cfg.k = k;
+  cfg.seed = 5;
+  size_t spanner_size = 0;
+  for (auto _ : state) {
+    DecrementalClusterSpanner sp(n, edges, cfg);
+    spanner_size = sp.spanner_size();
+    benchmark::DoNotOptimize(spanner_size);
+  }
+  state.counters["spanner_size"] = double(spanner_size);
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(edges.size()));
+}
+
+BENCHMARK(BM_ClusterConstruct)
+    ->ArgsProduct({{1024, 4096, 16384}, {2, 3, 4}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace parspan
 

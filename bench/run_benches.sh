@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs the perf-gating Google Benchmark binaries and records JSON results at
+# the repo root, seeding the perf trajectory tracked across PRs:
+#   BENCH_spanner.json    — spanner construction + churn + update throughput
+#   BENCH_primitives.json — scan / sort / pack substrate microbenchmarks
+#
+# Usage: bench/run_benches.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -x "$build_dir/bench_primitives" ]]; then
+  echo "error: bench binaries not found in $build_dir" >&2
+  echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+# Merge several benchmark runs into one JSON document keyed by binary name.
+merge() {
+  python3 - "$@" <<'EOF'
+import json, sys
+out = {}
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    name = path.rsplit('/', 1)[-1].removesuffix('.tmp.json')
+    out[name] = doc
+json.dump(out, sys.stdout, indent=1)
+EOF
+}
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== spanner benches =="
+"$build_dir/bench_cluster_churn" \
+  --benchmark_format=json \
+  --benchmark_filter='BM_ClusterConstruct' \
+  --benchmark_min_time=2 \
+  >"$tmpdir/bench_cluster_construct.tmp.json"
+"$build_dir/bench_spanner_updates" \
+  --benchmark_format=json \
+  >"$tmpdir/bench_spanner_updates.tmp.json"
+merge "$tmpdir/bench_cluster_construct.tmp.json" \
+      "$tmpdir/bench_spanner_updates.tmp.json" \
+  >"$repo_root/BENCH_spanner.json"
+echo "wrote $repo_root/BENCH_spanner.json"
+
+echo "== primitive benches =="
+"$build_dir/bench_primitives" \
+  --benchmark_format=json \
+  >"$tmpdir/bench_primitives.tmp.json"
+"$build_dir/bench_containers" \
+  --benchmark_format=json \
+  >"$tmpdir/bench_containers.tmp.json"
+merge "$tmpdir/bench_primitives.tmp.json" \
+      "$tmpdir/bench_containers.tmp.json" \
+  >"$repo_root/BENCH_primitives.json"
+echo "wrote $repo_root/BENCH_primitives.json"

@@ -14,6 +14,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -42,6 +43,40 @@ class CountedTreap {
     int32_t node = alloc(key, value);
     auto [l, r] = split(root_, key);
     root_ = merge(merge(l, node), r);
+  }
+
+  /// Pre-allocates pool capacity for `n` entries.
+  void reserve(size_t n) { pool_.reserve(n); }
+
+  /// Rebuilds the treap from (key, value) pairs sorted by strictly
+  /// ascending key in O(n): the classic right-spine (cartesian tree)
+  /// construction. Produces the same tree shape as n inserts — the shape is
+  /// a function of the key set only — at a fraction of the cost, which is
+  /// what makes bulk-loading the ES tree in-lists cheap.
+  void build_sorted(const std::pair<uint64_t, Value>* xs, size_t n) {
+    clear();
+    pool_.reserve(n);
+    std::vector<int32_t>& spine = scratch_;
+    spine.clear();
+    for (size_t i = 0; i < n; ++i) {
+      assert(i == 0 || xs[i - 1].first < xs[i].first);
+      int32_t idx = alloc(xs[i].first, xs[i].second);
+      int32_t last = -1;
+      // Nodes leaving the right spine have final subtrees: fix counts now.
+      while (!spine.empty() && pool_[spine.back()].prio < pool_[idx].prio) {
+        last = spine.back();
+        spine.pop_back();
+        pull(last);
+      }
+      pool_[idx].left = last;
+      if (!spine.empty()) pool_[spine.back()].right = idx;
+      spine.push_back(idx);
+    }
+    while (!spine.empty()) {
+      root_ = spine.back();
+      spine.pop_back();
+      pull(root_);
+    }
   }
 
   /// Removes the entry with `key`; returns true if it was present.

@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "parallel/csr.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
 
 namespace parspan {
 
@@ -16,44 +22,59 @@ DecrementalClusterSpanner::DecrementalClusterSpanner(
   double cap = cfg.delta_cap > 0 ? cfg.delta_cap : double(cfg.k);
 
   // --- Las Vegas delta sampling (Algorithm 2 lines 1-3). ---
-  Rng rng(cfg.seed);
+  // Every vertex draws from its own (seed, round, v) stream, so the whole
+  // round is one parallel loop and the result is independent of the
+  // iteration order and thread count.
   std::vector<double> delta(n);
-  while (true) {
-    double mx = 0;
-    for (size_t v = 0; v < n; ++v) {
-      delta[v] = rng.next_exponential(beta);
-      mx = std::max(mx, delta[v]);
-    }
+  for (uint64_t round = 0;; ++round) {
+    uint64_t round_seed = hash_combine(cfg.seed, round);
+    parallel_for(0, n, [&](size_t v) {
+      Rng stream(hash_combine(round_seed, v));
+      delta[v] = stream.next_exponential(beta);
+    });
+    double mx = parallel_reduce(
+        0, n, 0.0, [&](size_t v) { return delta[v]; },
+        [](double a, double b) { return a < b ? b : a; });
     if (mx < cap) break;
   }
   du_.resize(n);
   std::vector<double> frac(n);
-  uint32_t maxd = 0;
-  for (size_t v = 0; v < n; ++v) {
+  parallel_for(0, n, [&](size_t v) {
     du_[v] = static_cast<uint32_t>(delta[v]);
     frac[v] = delta[v] - double(du_[v]);
-    maxd = std::max(maxd, du_[v]);
-  }
+  });
+  uint32_t maxd = parallel_reduce(
+      0, n, 0u, [&](size_t v) { return du_[v]; },
+      [](uint32_t a, uint32_t b) { return a < b ? b : a; });
   t_ = maxd + 1;
 
   // --- Priority permutation: rank of the fractional part (1..n). ---
-  std::vector<VertexId> order(n);
-  for (size_t v = 0; v < n; ++v) order[v] = VertexId(v);
-  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-    return frac[a] != frac[b] ? frac[a] < frac[b] : a < b;
+  // Sort packed (frac, id) keys: the fraction quantized to 32 bits in the
+  // high word, the vertex id in the low word as the tie-break. One flat
+  // 64-bit sort instead of a comparator chasing a separate double array.
+  std::vector<uint64_t> pkeys(n);
+  parallel_for(0, n, [&](size_t v) {
+    uint64_t f = static_cast<uint64_t>(frac[v] * 0x1.0p32);
+    if (f > 0xffffffffULL) f = 0xffffffffULL;
+    pkeys[v] = (f << 32) | v;
   });
+  parallel_sort(pkeys);
   priority_.resize(n);
-  for (size_t r = 0; r < n; ++r) priority_[order[r]] = uint32_t(r + 1);
+  parallel_for(0, n, [&](size_t r) {
+    priority_[static_cast<VertexId>(pkeys[r] & 0xffffffffULL)] =
+        uint32_t(r + 1);
+  });
 
-  // --- Deduplicate edges, build arc table. ---
-  edges_.clear();
-  edge_index_.clear();
-  for (const Edge& e : edges) {
-    if (e.u == e.v || e.u >= n || e.v >= n) continue;
-    if (edge_index_.count(e.key())) continue;
-    edge_index_[e.key()] = uint32_t(edges_.size());
-    edges_.push_back(e);
-  }
+  // --- Deduplicate edges, build the arc table. ---
+  // Parallel canonicalize + sort_unique, then a lock-free index build; no
+  // hash-node allocation per edge.
+  std::vector<EdgeKey> keys = canonical_edge_keys(n, edges);
+  edges_.resize(keys.size());
+  edge_index_.rebuild(keys.size());
+  parallel_for(0, keys.size(), [&](size_t i) {
+    edges_[i] = edge_from_key(keys[i]);
+    edge_index_.insert(keys[i], i);
+  });
   alive_.assign(edges_.size(), 1);
   alive_count_ = edges_.size();
 
@@ -70,15 +91,13 @@ DecrementalClusterSpanner::DecrementalClusterSpanner(
     return num_edge_arcs + (t_ - 1) + v;
   };
 
+  // Flat CSR adjacency (arc ids 2i / 2i+1 match the ES arc table below);
+  // reused further down to bulk-build the InterCluster groups.
+  CsrGraph adj = csr_build(n, edges_);
+
   std::vector<uint32_t> distp(n, UINT32_MAX);
   cluster_.assign(n, kNoVertex);
   {
-    // Adjacency over alive edges for the fixpoint BFS.
-    std::vector<std::vector<std::pair<VertexId, uint32_t>>> adj(n);
-    for (uint32_t i = 0; i < edges_.size(); ++i) {
-      adj[edges_[i].u].push_back({edges_[i].v, 2 * i});      // arc u->v
-      adj[edges_[i].v].push_back({edges_[i].u, 2 * i + 1});  // arc v->u
-    }
     std::vector<uint64_t> bestkey(n, 0);
     std::vector<std::vector<VertexId>> frontier_at(t_ + 2);
     for (VertexId v = 0; v < n; ++v)
@@ -104,7 +123,11 @@ DecrementalClusterSpanner::DecrementalClusterSpanner(
       }
       // Candidates arriving via edges from the (l-1)-frontier.
       for (VertexId w : frontier) {
-        for (auto [x, arc_id] : adj[w]) {
+        auto nbrs = adj.neighbors(w);
+        auto arc_ids = adj.arcs(w);
+        for (size_t j = 0; j < nbrs.size(); ++j) {
+          VertexId x = nbrs[j];
+          uint32_t arc_id = arc_ids[j];
           if (distp[x] == UINT32_MAX) {
             distp[x] = l;
             newly.push_back(x);
@@ -124,29 +147,29 @@ DecrementalClusterSpanner::DecrementalClusterSpanner(
   }
 
   // --- Build the ES tree over G'. ---
-  std::vector<std::pair<VertexId, VertexId>> arcs;
-  std::vector<uint64_t> keys;
-  arcs.reserve(num_edge_arcs + t_ + n);
-  keys.reserve(arcs.capacity());
-  for (uint32_t i = 0; i < edges_.size(); ++i) {
+  // Arc counts are known up front, so the table is sized once and filled
+  // with parallel loops.
+  size_t total_arcs = size_t(num_edge_arcs) + (t_ - 1) + n;
+  std::vector<std::pair<VertexId, VertexId>> arcs(total_arcs);
+  std::vector<uint64_t> arc_keys(total_arcs);
+  parallel_for(0, edges_.size(), [&](size_t i) {
     const Edge& e = edges_[i];
-    arcs.push_back({e.u, e.v});  // arc 2i: key uses Cluster(u)
-    keys.push_back(arc_key(2 * i, cluster_[e.u]));
-    arcs.push_back({e.v, e.u});  // arc 2i+1: key uses Cluster(v)
-    keys.push_back(arc_key(2 * i + 1, cluster_[e.v]));
-  }
+    arcs[2 * i] = {e.u, e.v};  // arc 2i: key uses Cluster(u)
+    arc_keys[2 * i] = arc_key(uint32_t(2 * i), cluster_[e.u]);
+    arcs[2 * i + 1] = {e.v, e.u};  // arc 2i+1: key uses Cluster(v)
+    arc_keys[2 * i + 1] = arc_key(uint32_t(2 * i + 1), cluster_[e.v]);
+  });
   for (uint32_t j = 0; j + 1 < t_; ++j) {
-    arcs.push_back({path_vertex(j), path_vertex(j + 1)});
-    keys.push_back(uint32_t(arcs.size() - 1));  // priority irrelevant
+    arcs[num_edge_arcs + j] = {path_vertex(j), path_vertex(j + 1)};
+    arc_keys[num_edge_arcs + j] = num_edge_arcs + j;  // priority irrelevant
   }
-  assert(arcs.size() == num_edge_arcs + (t_ - 1));
-  for (VertexId v = 0; v < n; ++v) {
-    arcs.push_back({path_vertex(t_ - 1 - du_[v]), v});
-    keys.push_back(arc_key(headstart_arc(v), v));
-    assert(size_t(headstart_arc(v)) == arcs.size() - 1);
-  }
+  parallel_for(0, n, [&](size_t v) {
+    uint32_t a = headstart_arc(VertexId(v));
+    arcs[a] = {path_vertex(t_ - 1 - du_[v]), VertexId(v)};
+    arc_keys[a] = arc_key(a, VertexId(v));
+  });
   (void)path0;
-  es_.init(num_vp, arcs, keys, path0, t_);
+  es_.init(num_vp, arcs, arc_keys, path0, t_);
 
   // The ES parent choice must reproduce the precomputed clusters.
 #ifndef NDEBUG
@@ -158,13 +181,37 @@ DecrementalClusterSpanner::DecrementalClusterSpanner(
 
   // --- Initial contributions. ---
   tree_contrib_.assign(n, kNoEdge);
-  groups_.assign(cfg_.intercluster ? n : 0, {});
+  contrib_.reserve(2 * n);
   for (VertexId v = 0; v < n; ++v) refresh_tree_contrib(v);
+  groups_.assign(cfg_.intercluster ? n : 0, {});
   if (cfg_.intercluster) {
-    for (uint32_t i = 0; i < edges_.size(); ++i) {
-      const Edge& e = edges_[i];
-      add_membership(e.u, cluster_[e.v], e.v);
-      add_membership(e.v, cluster_[e.u], e.u);
+    // Bulk build: group each vertex's CSR slice by neighbor cluster, then
+    // fill every group with its exact size known — no incremental rehashing
+    // and no per-member node allocation.
+    std::vector<std::pair<VertexId, VertexId>> scratch;  // (cluster, other)
+    for (VertexId x = 0; x < n; ++x) {
+      auto nbrs = adj.neighbors(x);
+      if (nbrs.empty()) continue;
+      scratch.clear();
+      for (VertexId o : nbrs) scratch.push_back({cluster_[o], o});
+      std::sort(scratch.begin(), scratch.end());
+      size_t ngroups = 0;
+      for (size_t j = 0; j < scratch.size(); ++j)
+        if (j == 0 || scratch[j].first != scratch[j - 1].first) ++ngroups;
+      groups_[x].reserve(ngroups);
+      size_t j = 0;
+      while (j < scratch.size()) {
+        VertexId c = scratch[j].first;
+        size_t k = j;
+        while (k < scratch.size() && scratch[k].first == c) ++k;
+        Group& g = groups_[x][c];
+        g.members.reserve(k - j);
+        for (size_t idx = j; idx < k; ++idx)
+          g.members.insert(scratch[idx].second);
+        g.rep = scratch[j].second;
+        if (c != cluster_[x]) add_contrib(edge_key(x, g.rep));
+        j = k;
+      }
     }
   }
   batch_delta_.clear();  // init contributions are not a "diff"
@@ -185,10 +232,10 @@ void DecrementalClusterSpanner::add_contrib(EdgeKey e) {
 }
 
 void DecrementalClusterSpanner::remove_contrib(EdgeKey e) {
-  auto it = contrib_.find(e);
-  assert(it != contrib_.end());
-  if (--it->second == 0) {
-    contrib_.erase(it);
+  uint32_t* c = contrib_.find(e);
+  assert(c != nullptr);
+  if (--*c == 0) {
+    contrib_.erase(e);
     --batch_delta_[e];
   }
 }
@@ -208,38 +255,35 @@ void DecrementalClusterSpanner::refresh_tree_contrib(VertexId v) {
 
 void DecrementalClusterSpanner::add_membership(VertexId x, VertexId c,
                                                VertexId other) {
-  auto& m = groups_[x];
-  auto it = m.find(c);
-  if (it == m.end()) {
-    Group g;
-    g.members.insert(other);
-    g.rep = other;
-    m.emplace(c, std::move(g));
+  Group* g = groups_[x].find(c);
+  if (g == nullptr) {
+    Group& ng = groups_[x][c];
+    ng.members.insert(other);
+    ng.rep = other;
     if (c != cluster_[x]) add_contrib(edge_key(x, other));
   } else {
-    it->second.members.insert(other);
+    g->members.insert(other);
   }
 }
 
 void DecrementalClusterSpanner::remove_membership(VertexId x, VertexId c,
                                                   VertexId other) {
-  auto& m = groups_[x];
-  auto it = m.find(c);
-  assert(it != m.end());
-  Group& g = it->second;
-  size_t erased = g.members.erase(other);
-  assert(erased == 1);
+  Group* g = groups_[x].find(c);
+  assert(g != nullptr);
+  bool erased = g->members.erase(other);
+  assert(erased);
   (void)erased;
-  if (g.members.empty()) {
-    if (c != cluster_[x]) remove_contrib(edge_key(x, g.rep));
-    m.erase(it);
-  } else if (g.rep == other) {
-    VertexId nr = *g.members.begin();
+  if (g->members.empty()) {
+    VertexId rep = g->rep;
+    if (c != cluster_[x]) remove_contrib(edge_key(x, rep));
+    groups_[x].erase(c);
+  } else if (g->rep == other) {
+    VertexId nr = g->members.any();
     if (c != cluster_[x]) {
       remove_contrib(edge_key(x, other));
       add_contrib(edge_key(x, nr));
     }
-    g.rep = nr;
+    g->rep = nr;
   }
 }
 
@@ -262,10 +306,10 @@ void DecrementalClusterSpanner::apply_cluster_change(
     // Eligibility flips for v's own groups: (v, oldc) becomes eligible,
     // (v, newc) becomes ineligible (still using cluster_[v] == oldc).
     auto& m = groups_[v];
-    auto ito = m.find(oldc);
-    if (ito != m.end()) add_contrib(edge_key(v, ito->second.rep));
-    auto itn = m.find(newc);
-    if (itn != m.end()) remove_contrib(edge_key(v, itn->second.rep));
+    Group* go = m.find(oldc);
+    if (go != nullptr) add_contrib(edge_key(v, go->rep));
+    Group* gn = m.find(newc);
+    if (gn != nullptr) remove_contrib(edge_key(v, gn->rep));
   }
   cluster_[v] = newc;
 
@@ -293,9 +337,9 @@ SpannerDiff DecrementalClusterSpanner::delete_edges(
   // pre-batch cluster values. ---
   std::vector<uint32_t> arc_ids;
   for (const Edge& e : batch) {
-    auto it = edge_index_.find(e.key());
-    if (it == edge_index_.end() || !alive_[it->second]) continue;
-    uint32_t i = it->second;
+    auto idx = edge_index_.find(e.key());
+    if (!idx || !alive_[*idx]) continue;
+    uint32_t i = uint32_t(*idx);
     alive_[i] = 0;
     --alive_count_;
     arc_ids.push_back(2 * i);
@@ -336,18 +380,19 @@ SpannerDiff DecrementalClusterSpanner::delete_edges(
 
   // --- Step 4: compile the net diff. ---
   SpannerDiff diff;
-  for (auto& [ek, d] : batch_delta_) {
+  batch_delta_.for_each([&](EdgeKey ek, int32_t d) {
     assert(d >= -1 && d <= 1);
     if (d > 0) diff.inserted.push_back(edge_from_key(ek));
     if (d < 0) diff.removed.push_back(edge_from_key(ek));
-  }
+  });
   return diff;
 }
 
 std::vector<Edge> DecrementalClusterSpanner::spanner_edges() const {
   std::vector<Edge> out;
   out.reserve(contrib_.size());
-  for (auto& [ek, c] : contrib_) out.push_back(edge_from_key(ek));
+  contrib_.for_each(
+      [&](EdgeKey ek, const uint32_t&) { out.push_back(edge_from_key(ek)); });
   return out;
 }
 
@@ -436,19 +481,26 @@ bool DecrementalClusterSpanner::check_invariants() const {
     }
     for (VertexId v = 0; v < n_; ++v) {
       if (ref_groups[v].size() != groups_[v].size()) return false;
-      for (auto& [c, g] : groups_[v]) {
+      bool ok = true;
+      groups_[v].for_each([&](VertexId c, const Group& g) {
         auto it = ref_groups[v].find(c);
-        if (it == ref_groups[v].end()) return false;
-        if (it->second != g.members) return false;
-        if (!g.members.count(g.rep)) return false;
+        if (it == ref_groups[v].end() ||
+            it->second.size() != g.members.size()) {
+          ok = false;
+          return;
+        }
+        for (VertexId m : it->second)
+          if (!g.members.contains(m)) ok = false;
+        if (!g.members.contains(g.rep)) ok = false;
         if (c != cluster_[v]) ++expect[edge_key(v, g.rep)];
-      }
+      });
+      if (!ok) return false;
     }
   }
   if (expect.size() != contrib_.size()) return false;
   for (auto& [ek, cnt] : expect) {
-    auto it = contrib_.find(ek);
-    if (it == contrib_.end() || it->second != cnt) return false;
+    const uint32_t* c = contrib_.find(ek);
+    if (c == nullptr || *c != cnt) return false;
   }
   return true;
 }

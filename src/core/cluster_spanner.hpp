@@ -35,10 +35,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "container/concurrent_map.hpp"
+#include "container/flat_map.hpp"
 #include "core/es_tree.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
@@ -80,7 +80,7 @@ class DecrementalClusterSpanner {
   std::vector<Edge> spanner_edges() const;
 
   /// True iff e is currently in the spanner.
-  bool in_spanner(Edge e) const { return contrib_.count(e.key()) > 0; }
+  bool in_spanner(Edge e) const { return contrib_.contains(e.key()); }
 
   /// Deletes a batch of edges (absent/dead edges ignored); returns the net
   /// spanner diff. Amortized work O(k log^2 n) per deleted edge.
@@ -133,7 +133,10 @@ class DecrementalClusterSpanner {
 
   std::vector<Edge> edges_;  // arc ids 2i (u->v), 2i+1 (v->u)
   std::vector<uint8_t> alive_;
-  std::unordered_map<EdgeKey, uint32_t> edge_index_;
+  /// EdgeKey -> index into edges_. Keys are fixed at construction (deletion
+  /// only flips alive_), so the lock-free fixed-capacity table applies; it
+  /// is also what lets construction insert the dedup index in parallel.
+  ConcurrentFixedMap edge_index_;
   size_t alive_count_ = 0;
 
   ESTree es_;
@@ -141,15 +144,16 @@ class DecrementalClusterSpanner {
   std::vector<EdgeKey> tree_contrib_;  // per-vertex tree edge, kNoEdge if none
 
   /// InterCluster[(v, c)]: neighbors of v lying in cluster c, plus the
-  /// designated representative (paper's hash table of hash tables).
+  /// designated representative (paper's hash table of hash tables; realized
+  /// as flat open-addressing tables — DESIGN.md §1).
   struct Group {
-    std::unordered_set<VertexId> members;
+    FlatHashSet<VertexId> members;
     VertexId rep = kNoVertex;
   };
-  std::vector<std::unordered_map<VertexId, Group>> groups_;
+  std::vector<FlatHashMap<VertexId, Group>> groups_;
 
-  std::unordered_map<EdgeKey, uint32_t> contrib_;     // spanner refcounts
-  std::unordered_map<EdgeKey, int32_t> batch_delta_;  // diff accumulator
+  FlatHashMap<EdgeKey, uint32_t> contrib_;     // spanner refcounts
+  FlatHashMap<EdgeKey, int32_t> batch_delta_;  // diff accumulator
 
   // Cascade scratch (epoch-stamped to keep per-batch work batch-sized).
   std::vector<uint64_t> dirty_epoch_;

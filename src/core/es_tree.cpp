@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "parallel/csr.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace parspan {
@@ -14,10 +15,8 @@ void ESTree::init(size_t n,
   assert(arcs.size() == keys.size());
   source_ = source;
   L_ = L;
-  arcs_.clear();
-  arcs_.reserve(arcs.size());
-  in_.assign(n, {});
-  out_.assign(n, {});
+  size_t num_arcs = arcs.size();
+  arcs_.resize(num_arcs);
   dist_.assign(n, L + 1);
   scan_key_.assign(n, kHeadKey);
   parent_arc_.assign(n, kNoArc);
@@ -29,28 +28,54 @@ void ESTree::init(size_t n,
   batch_epoch_ = 0;
   unew_epoch_ = 0;
 
-  for (size_t i = 0; i < arcs.size(); ++i) {
+  std::vector<uint32_t> srcs(num_arcs), dsts(num_arcs);
+  parallel_for(0, num_arcs, [&](size_t i) {
     auto [u, v] = arcs[i];
     assert(keys[i] < kHeadKey);
-    arcs_.push_back(Arc{u, v, keys[i], true});
-    out_[u].push_back(static_cast<uint32_t>(i));
+    arcs_[i] = Arc{u, v, keys[i], true};
+    srcs[i] = u;
+    dsts[i] = v;
+  });
+  // Out-arcs as a flat CSR layout (histogram -> scan -> scatter): arcs are
+  // only ever invalidated after init, never added, so the slices stay valid
+  // for the lifetime of the tree.
+  {
+    GroupedIndices out = group_by_key(n, srcs);
+    out_offsets_ = std::move(out.offsets);
+    out_arcs_ = std::move(out.items);
   }
-  // In-lists; built per destination (parallel across destinations would need
-  // a grouping pass; init is one-shot so a serial fill is fine here, the
-  // treap insertions dominate and are counted as work).
-  for (uint32_t a = 0; a < arcs_.size(); ++a) {
-    in_[arcs_[a].dst].insert(arcs_[a].key, a);
-    ++counters_.treap_ops;
+  // In-lists: group arcs by destination, then bulk-build each treap from
+  // its key-sorted slice in O(size) instead of O(size log size) pointer-
+  // chasing inserts. Trees are independent, so the build runs per-vertex
+  // in parallel.
+  {
+    GroupedIndices by_dst = group_by_key(n, dsts);
+    in_.assign(n, {});
+    std::vector<std::pair<uint64_t, uint32_t>> entries(num_arcs);
+    parallel_for(0, num_arcs, [&](size_t j) {
+      uint32_t a = by_dst.items[j];
+      entries[j] = {arcs_[a].key, a};
+    });
+    parallel_for(
+        0, n,
+        [&](size_t v) {
+          uint32_t lo = by_dst.offsets[v], hi = by_dst.offsets[v + 1];
+          if (lo == hi) return;
+          std::sort(entries.begin() + lo, entries.begin() + hi);
+          in_[v].build_sorted(entries.data() + lo, hi - lo);
+        },
+        256);
+    counters_.treap_ops += num_arcs;
   }
 
-  // Bounded BFS from the source over out-arcs (Lemma 3.2).
+  // Bounded BFS from the source over the CSR out-slices (Lemma 3.2).
   dist_[source] = 0;
   std::vector<VertexId> frontier = {source};
   for (uint32_t level = 0; level < L && !frontier.empty(); ++level) {
     std::vector<VertexId> next;
     for (VertexId u : frontier) {
-      for (uint32_t a : out_[u]) {
-        VertexId w = arcs_[a].dst;
+      for (uint32_t j = out_offsets_[u]; j < out_offsets_[u + 1]; ++j) {
+        VertexId w = arcs_[out_arcs_[j]].dst;
         if (dist_[w] == L + 1) {
           dist_[w] = level + 1;
           next.push_back(w);
@@ -77,7 +102,7 @@ int32_t ESTree::next_with(VertexId v, uint64_t from_key) {
   int32_t found = kNoArc;
   uint32_t want = dist_[v] - 1;
   uint64_t steps = 0;
-  in_[v].for_each_desc_from(from_key, [&](uint64_t key, uint32_t& a) {
+  in_[v].for_each_desc_from(from_key, [&](uint64_t /*key*/, uint32_t& a) {
     ++steps;
     if (arcs_[a].valid && dist_[arcs_[a].src] == want) {
       found = static_cast<int32_t>(a);
@@ -284,11 +309,13 @@ bool ESTree::check_invariants() const {
   for (uint32_t level = 0; level < L_ && !frontier.empty(); ++level) {
     std::vector<VertexId> next;
     for (VertexId u : frontier)
-      for (uint32_t a : out_[u])
+      for (uint32_t j = out_offsets_[u]; j < out_offsets_[u + 1]; ++j) {
+        uint32_t a = out_arcs_[j];
         if (arcs_[a].valid && ref[arcs_[a].dst] == L_ + 1) {
           ref[arcs_[a].dst] = level + 1;
           next.push_back(arcs_[a].dst);
         }
+      }
     frontier = std::move(next);
   }
   for (VertexId v = 0; v < n; ++v) {

@@ -120,19 +120,25 @@ class ESTree {
   bool rescan_from_head(VertexId v);
 
   /// Iterates over the valid out-arcs of v: fn(arc_id, const Arc&).
+  /// Out-arcs live in a flat CSR slice (arcs are never added after init,
+  /// only invalidated), so traversal is one contiguous scan.
   template <typename Fn>
   void for_each_out_arc(VertexId v, Fn&& fn) const {
-    for (uint32_t a : out_[v])
+    for (uint32_t j = out_offsets_[v]; j < out_offsets_[v + 1]; ++j) {
+      uint32_t a = out_arcs_[j];
       if (arcs_[a].valid) fn(a, arcs_[a]);
+    }
   }
 
   /// Children of v in the current tree (destinations whose parent arc
   /// originates at v).
   template <typename Fn>
   void for_each_child(VertexId v, Fn&& fn) const {
-    for (uint32_t a : out_[v])
+    for (uint32_t j = out_offsets_[v]; j < out_offsets_[v + 1]; ++j) {
+      uint32_t a = out_arcs_[j];
       if (arcs_[a].valid && parent_arc_[arcs_[a].dst] == int32_t(a))
         fn(arcs_[a].dst, a);
+    }
   }
 
   ESWorkCounters& counters() { return counters_; }
@@ -151,8 +157,9 @@ class ESTree {
   void note_parent_change(VertexId v);
 
   std::vector<Arc> arcs_;
-  std::vector<CountedTreap<uint32_t>> in_;     // key -> arc id
-  std::vector<std::vector<uint32_t>> out_;     // arc ids
+  std::vector<CountedTreap<uint32_t>> in_;  // key -> arc id
+  std::vector<uint32_t> out_offsets_;       // CSR offsets into out_arcs_
+  std::vector<uint32_t> out_arcs_;          // arc ids grouped by source
   std::vector<uint32_t> dist_;
   std::vector<uint64_t> scan_key_;
   std::vector<int32_t> parent_arc_;

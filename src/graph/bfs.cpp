@@ -21,24 +21,26 @@ std::vector<uint32_t> bounded_bfs(const DynamicGraph& g,
     if (dist[s].compare_exchange_strong(expect, 0)) frontier.push_back(s);
   }
   for (uint32_t level = 0; level < L && !frontier.empty(); ++level) {
-    // Gather per-frontier-vertex neighbor candidates, claim with CAS.
-    std::vector<std::vector<VertexId>> next_local(frontier.size());
+    // Flat scan-based expansion: degree histogram -> exclusive scan ->
+    // scatter claimed neighbors into one contiguous candidate array, then
+    // pack out the gaps. No per-frontier-vertex buffers to allocate or
+    // re-concatenate; vertex acquisition stays a CAS.
+    std::vector<uint64_t> offsets(frontier.size());
+    parallel_for(0, frontier.size(),
+                 [&](size_t i) { offsets[i] = g.degree(frontier[i]); }, 512);
+    uint64_t total = exclusive_scan_inplace(offsets);
+    std::vector<VertexId> cand(total, kNoVertex);
     parallel_for(0, frontier.size(), [&](size_t i) {
       VertexId u = frontier[i];
-      for (VertexId w : g.neighbors(u)) {
+      auto nbrs = g.neighbors(u);
+      for (size_t j = 0; j < nbrs.size(); ++j) {
         uint32_t expect = L + 1;
-        if (dist[w].compare_exchange_strong(expect, level + 1,
-                                            std::memory_order_relaxed))
-          next_local[i].push_back(w);
+        if (dist[nbrs[j]].compare_exchange_strong(expect, level + 1,
+                                                  std::memory_order_relaxed))
+          cand[offsets[i] + j] = nbrs[j];
       }
     }, 64);
-    size_t total = 0;
-    for (auto& loc : next_local) total += loc.size();
-    std::vector<VertexId> next;
-    next.reserve(total);
-    for (auto& loc : next_local)
-      next.insert(next.end(), loc.begin(), loc.end());
-    frontier = std::move(next);
+    frontier = filter(cand, [](VertexId w) { return w != kNoVertex; });
   }
   std::vector<uint32_t> out(n);
   for (size_t v = 0; v < n; ++v)

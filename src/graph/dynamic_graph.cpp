@@ -2,78 +2,62 @@
 
 #include <algorithm>
 
+#include "parallel/csr.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/primitives.hpp"
 
 namespace parspan {
 
-std::vector<Edge> DynamicGraph::insert_edges(const std::vector<Edge>& batch) {
-  // Filter: drop self-loops, in-batch duplicates, and already-present edges.
-  std::vector<EdgeKey> keys;
-  keys.reserve(batch.size());
-  for (const Edge& e : batch) {
-    if (e.u == e.v || e.u >= adj_.size() || e.v >= adj_.size()) continue;
-    keys.push_back(e.key());
-  }
-  sort_unique(keys);
-  std::vector<Edge> applied;
-  applied.reserve(keys.size());
-  for (EdgeKey k : keys) {
-    Edge e = edge_from_key(k);
-    if (!has_edge(e.u, e.v)) applied.push_back(e);
-  }
-  // Apply grouped by endpoint so each adjacency list has one writer.
-  // Arcs: (owner, other) for both directions.
-  std::vector<std::pair<VertexId, VertexId>> arcs;
-  arcs.reserve(2 * applied.size());
-  for (const Edge& e : applied) {
-    arcs.push_back({e.u, e.v});
-    arcs.push_back({e.v, e.u});
-  }
-  parallel_sort(arcs);
-  // Parallel over runs of equal owner.
-  std::vector<size_t> starts;
-  for (size_t i = 0; i < arcs.size(); ++i)
-    if (i == 0 || arcs[i].first != arcs[i - 1].first) starts.push_back(i);
-  parallel_for(0, starts.size(), [&](size_t r) {
-    size_t lo = starts[r];
-    size_t hi = r + 1 < starts.size() ? starts[r + 1] : arcs.size();
-    for (size_t i = lo; i < hi; ++i) add_arc(arcs[i].first, arcs[i].second);
+std::vector<Edge> DynamicGraph::canonical_batch(const std::vector<Edge>& batch,
+                                                bool want_present) const {
+  std::vector<EdgeKey> keys = canonical_edge_keys(adj_.size(), batch);
+  // Presence filter (read-only on pos_, safe in parallel).
+  keys = filter(keys, [&](EdgeKey k) {
+    return pos_.contains(k) == want_present;
   });
+  std::vector<Edge> out(keys.size());
+  parallel_for(0, keys.size(),
+               [&](size_t i) { out[i] = edge_from_key(keys[i]); });
+  return out;
+}
+
+void DynamicGraph::remove_arc_slot(VertexId x, uint32_t i) {
+  auto& a = adj_[x];
+  VertexId last = a.back();
+  a.pop_back();
+  if (i < a.size()) {
+    a[i] = last;
+    uint64_t* p = pos_.find(edge_key(x, last));
+    assert(p != nullptr);
+    if (x < last)
+      *p = (*p & 0xffffffffULL) | (static_cast<uint64_t>(i) << 32);
+    else
+      *p = (*p & ~0xffffffffULL) | i;
+  }
+}
+
+std::vector<Edge> DynamicGraph::insert_edges(const std::vector<Edge>& batch) {
+  std::vector<Edge> applied = canonical_batch(batch, /*want_present=*/false);
+  pos_.reserve(num_edges_ + applied.size());
+  for (const Edge& e : applied) {  // canonical: e.u < e.v
+    uint32_t pu = static_cast<uint32_t>(adj_[e.u].size());
+    uint32_t pv = static_cast<uint32_t>(adj_[e.v].size());
+    adj_[e.u].push_back(e.v);
+    adj_[e.v].push_back(e.u);
+    pos_[e.key()] = pack_pos(pu, pv);
+  }
   num_edges_ += applied.size();
   return applied;
 }
 
 std::vector<Edge> DynamicGraph::erase_edges(const std::vector<Edge>& batch) {
-  std::vector<EdgeKey> keys;
-  keys.reserve(batch.size());
-  for (const Edge& e : batch) {
-    if (e.u == e.v || e.u >= adj_.size() || e.v >= adj_.size()) continue;
-    keys.push_back(e.key());
+  std::vector<Edge> applied = canonical_batch(batch, /*want_present=*/true);
+  for (const Edge& e : applied) {  // canonical: e.u < e.v
+    uint64_t packed = *pos_.find(e.key());
+    pos_.erase(e.key());
+    remove_arc_slot(e.u, static_cast<uint32_t>(packed >> 32));
+    remove_arc_slot(e.v, static_cast<uint32_t>(packed));
   }
-  sort_unique(keys);
-  std::vector<Edge> applied;
-  applied.reserve(keys.size());
-  for (EdgeKey k : keys) {
-    Edge e = edge_from_key(k);
-    if (has_edge(e.u, e.v)) applied.push_back(e);
-  }
-  std::vector<std::pair<VertexId, VertexId>> arcs;
-  arcs.reserve(2 * applied.size());
-  for (const Edge& e : applied) {
-    arcs.push_back({e.u, e.v});
-    arcs.push_back({e.v, e.u});
-  }
-  parallel_sort(arcs);
-  std::vector<size_t> starts;
-  for (size_t i = 0; i < arcs.size(); ++i)
-    if (i == 0 || arcs[i].first != arcs[i - 1].first) starts.push_back(i);
-  parallel_for(0, starts.size(), [&](size_t r) {
-    size_t lo = starts[r];
-    size_t hi = r + 1 < starts.size() ? starts[r + 1] : arcs.size();
-    for (size_t i = lo; i < hi; ++i)
-      remove_arc(arcs[i].first, arcs[i].second);
-  });
   num_edges_ -= applied.size();
   return applied;
 }

@@ -1,16 +1,22 @@
 // DynamicGraph: a simple undirected graph under batch edge insertions and
 // deletions. This is the "input graph" substrate all batch-dynamic
-// structures observe. Adjacency is stored as per-vertex dense vectors with
-// a position index for O(1) removal; batches are applied with per-vertex
-// parallelism (each endpoint's adjacency touched by exactly one task).
+// structures observe.
+//
+// Adjacency is stored as per-vertex dense vectors. Instead of a per-vertex
+// std::unordered_map position index (one node allocation and pointer chase
+// per arc), a single flat open-addressing table maps each edge key to the
+// packed positions of its two arcs, giving O(1) membership tests and O(1)
+// swap-removal with no allocation per arc (DESIGN.md §2). Batches are
+// canonicalized and deduplicated with the parallel sort primitives; the
+// application sweep itself is a serial O(1)-per-arc scan over the flat
+// table (see DESIGN.md §2 for the parallelization trade-off).
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "container/flat_map.hpp"
 #include "util/types.hpp"
 
 namespace parspan {
@@ -18,7 +24,7 @@ namespace parspan {
 class DynamicGraph {
  public:
   /// Creates an edgeless graph on n vertices.
-  explicit DynamicGraph(size_t n = 0) : adj_(n), pos_(n) {}
+  explicit DynamicGraph(size_t n = 0) : adj_(n) {}
 
   size_t num_vertices() const { return adj_.size(); }
   size_t num_edges() const { return num_edges_; }
@@ -33,10 +39,7 @@ class DynamicGraph {
 
   /// True iff the undirected edge {u, v} is present.
   bool has_edge(VertexId u, VertexId v) const {
-    if (u == v) return false;
-    const auto& p = degree(u) <= degree(v) ? pos_[u] : pos_[v];
-    VertexId other = degree(u) <= degree(v) ? v : u;
-    return p.find(other) != p.end();
+    return u != v && pos_.contains(edge_key(u, v));
   }
 
   /// Inserts a batch of edges. Self-loops, duplicates within the batch, and
@@ -65,22 +68,25 @@ class DynamicGraph {
   }
 
  private:
-  void add_arc(VertexId u, VertexId v) {
-    pos_[u].emplace(v, static_cast<uint32_t>(adj_[u].size()));
-    adj_[u].push_back(v);
-  }
-  void remove_arc(VertexId u, VertexId v) {
-    auto it = pos_[u].find(v);
-    uint32_t i = it->second;
-    VertexId last = adj_[u].back();
-    adj_[u][i] = last;
-    pos_[u][last] = i;
-    adj_[u].pop_back();
-    pos_[u].erase(it);
+  /// Packed arc positions of edge {lo, hi} (lo < hi): high word is the
+  /// position of hi within adj_[lo], low word the position of lo within
+  /// adj_[hi].
+  static uint64_t pack_pos(uint32_t pos_in_lo, uint32_t pos_in_hi) {
+    return (static_cast<uint64_t>(pos_in_lo) << 32) | pos_in_hi;
   }
 
+  /// Swap-removes slot i of adj_[x], repairing the moved neighbor's stored
+  /// position.
+  void remove_arc_slot(VertexId x, uint32_t i);
+
+  /// Canonicalizes a batch: drops self-loops/out-of-range endpoints,
+  /// deduplicates, and keeps the keys whose presence in pos_ equals
+  /// `want_present`.
+  std::vector<Edge> canonical_batch(const std::vector<Edge>& batch,
+                                    bool want_present) const;
+
   std::vector<std::vector<VertexId>> adj_;
-  std::vector<std::unordered_map<VertexId, uint32_t>> pos_;
+  FlatHashMap<EdgeKey, uint64_t> pos_;
   size_t num_edges_ = 0;
 };
 

@@ -1,0 +1,183 @@
+// Flat CSR (compressed sparse row) adjacency built by parallel counting
+// sort: histogram -> exclusive scan -> scatter (DESIGN.md §2).
+//
+// This is the standard work-efficient vehicle for "for each neighbor of v in
+// parallel" loops (cf. the scan vocabulary of Blelloch and the batch-dynamic
+// connectivity literature): one contiguous offsets array plus one contiguous
+// adjacency array, instead of a vector-of-vectors whose per-vertex
+// allocations and scattered headers dominate construction time and defeat
+// the prefetcher during traversal.
+//
+// group_by_key is the reusable primitive: a *stable* counting sort of element
+// indices by an integer key in [0, nbuckets). The parallel path uses
+// per-block histograms so the output permutation is identical to the serial
+// one — layouts are deterministic regardless of thread count.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+#include "util/types.hpp"
+
+namespace parspan {
+
+/// Result of group_by_key: `items` holds the element indices [0, n) grouped
+/// by key; group k occupies items[offsets[k] .. offsets[k+1]).
+struct GroupedIndices {
+  std::vector<uint32_t> offsets;  // nbuckets + 1
+  std::vector<uint32_t> items;    // element indices in stable key order
+
+  std::span<const uint32_t> group(size_t k) const {
+    return {items.data() + offsets[k], items.data() + offsets[k + 1]};
+  }
+};
+
+/// Stable parallel counting sort of the indices [0, keys.size()) by
+/// keys[i] in [0, nbuckets).
+inline GroupedIndices group_by_key(size_t nbuckets,
+                                   const std::vector<uint32_t>& keys) {
+  size_t n = keys.size();
+  GroupedIndices out;
+  out.offsets.assign(nbuckets + 1, 0);
+  out.items.resize(n);
+  int p = num_workers();
+  // The parallel path keeps one histogram per block; cap the block count so
+  // that scratch stays O(n) even when nbuckets is large relative to n
+  // (sparse graphs), falling back to the serial sort when one block is all
+  // the budget allows. Both paths emit the identical stable permutation.
+  size_t nblocks = std::min<size_t>(
+      static_cast<size_t>(p) * 4,
+      std::max<size_t>(1, (8 * n) / std::max<size_t>(1, nbuckets)));
+  if (n < kParGrain || p <= 1 || nblocks <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      assert(keys[i] < nbuckets);
+      ++out.offsets[keys[i] + 1];
+    }
+    for (size_t k = 0; k < nbuckets; ++k)
+      out.offsets[k + 1] += out.offsets[k];
+    std::vector<uint32_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+    for (size_t i = 0; i < n; ++i)
+      out.items[cursor[keys[i]]++] = static_cast<uint32_t>(i);
+    return out;
+  }
+  // Per-block histograms keep the scatter stable: block b writes the
+  // elements of its input range in input order at offsets disjoint from
+  // every other block's.
+  size_t bsz = (n + nblocks - 1) / nblocks;
+  std::vector<uint32_t> counts(nblocks * nbuckets, 0);
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nblocks; ++b) {
+    uint32_t* local = counts.data() + b * nbuckets;
+    size_t lo = b * bsz, hi = std::min(n, lo + bsz);
+    for (size_t i = lo; i < hi; ++i) {
+      assert(keys[i] < nbuckets);
+      ++local[keys[i]];
+    }
+  }
+  // Column-wise exclusive scan: cursor for (block b, bucket k) becomes
+  // bucket_start(k) + sum of counts of k over blocks < b.
+  parallel_for(0, nbuckets, [&](size_t k) {
+    uint32_t total = 0;
+    for (size_t b = 0; b < nblocks; ++b) {
+      uint32_t c = counts[b * nbuckets + k];
+      counts[b * nbuckets + k] = total;
+      total += c;
+    }
+    out.offsets[k] = total;
+  });
+  exclusive_scan_inplace(out.offsets);  // offsets[k] = start of bucket k
+#pragma omp parallel for schedule(static)
+  for (size_t b = 0; b < nblocks; ++b) {
+    uint32_t* local = counts.data() + b * nbuckets;
+    size_t lo = b * bsz, hi = std::min(n, lo + bsz);
+    for (size_t i = lo; i < hi; ++i)
+      out.items[out.offsets[keys[i]] + local[keys[i]]++] =
+          static_cast<uint32_t>(i);
+  }
+  return out;
+}
+
+/// Canonical, deduplicated keys of an undirected edge list: self-loops and
+/// out-of-range endpoints dropped, result sorted ascending by key. The
+/// shared front half of every batch-ingestion path (spanner construction,
+/// DynamicGraph batches): invalid entries map to the kNoEdge sentinel,
+/// which sorts last and survives dedup at most once.
+inline std::vector<EdgeKey> canonical_edge_keys(
+    size_t n, const std::vector<Edge>& edges) {
+  std::vector<EdgeKey> keys(edges.size());
+  parallel_for(0, edges.size(), [&](size_t i) {
+    const Edge& e = edges[i];
+    keys[i] = (e.u == e.v || e.u >= n || e.v >= n) ? kNoEdge : e.key();
+  });
+  sort_unique(keys);
+  if (!keys.empty() && keys.back() == kNoEdge) keys.pop_back();
+  return keys;
+}
+
+/// Immutable CSR adjacency with an arc-id payload per entry. Entry j of
+/// vertex v is the arc (v -> nbr[j]) with identifier arc[j].
+struct CsrGraph {
+  std::vector<uint32_t> offsets;  // n + 1
+  std::vector<VertexId> nbr;      // flattened neighbor array
+  std::vector<uint32_t> arc;      // arc id per entry
+
+  size_t num_vertices() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  size_t num_arcs() const { return nbr.size(); }
+  uint32_t degree(VertexId v) const { return offsets[v + 1] - offsets[v]; }
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {nbr.data() + offsets[v], nbr.data() + offsets[v + 1]};
+  }
+  std::span<const uint32_t> arcs(VertexId v) const {
+    return {arc.data() + offsets[v], arc.data() + offsets[v + 1]};
+  }
+};
+
+/// Builds the symmetric CSR adjacency of an undirected edge list: edge i
+/// contributes arc 2i (u -> v) and arc 2i + 1 (v -> u), matching the arc-id
+/// convention of the cluster spanner and ES tree layers. Endpoints must lie
+/// in [0, n).
+inline CsrGraph csr_build(size_t n, const std::vector<Edge>& edges) {
+  size_t m = edges.size();
+  std::vector<uint32_t> srcs(2 * m);
+  parallel_for(0, m, [&](size_t i) {
+    assert(edges[i].u < n && edges[i].v < n);
+    srcs[2 * i] = edges[i].u;
+    srcs[2 * i + 1] = edges[i].v;
+  });
+  GroupedIndices g = group_by_key(n, srcs);
+  CsrGraph csr;
+  csr.offsets = std::move(g.offsets);
+  csr.nbr.resize(2 * m);
+  csr.arc = std::move(g.items);  // arc id == element index by construction
+  parallel_for(0, 2 * m, [&](size_t j) {
+    uint32_t a = csr.arc[j];
+    const Edge& e = edges[a >> 1];
+    csr.nbr[j] = (a & 1) ? e.u : e.v;  // arc 2i: u->v, arc 2i+1: v->u
+  });
+  return csr;
+}
+
+/// Builds the CSR adjacency of an explicit directed arc list: arc i is
+/// srcs[i] -> dsts[i] and keeps its index as the payload id.
+inline CsrGraph csr_build_directed(size_t n,
+                                   const std::vector<VertexId>& srcs,
+                                   const std::vector<VertexId>& dsts) {
+  assert(srcs.size() == dsts.size());
+  GroupedIndices g = group_by_key(n, srcs);
+  CsrGraph csr;
+  csr.offsets = std::move(g.offsets);
+  csr.nbr.resize(dsts.size());
+  csr.arc = std::move(g.items);
+  parallel_for(0, csr.arc.size(),
+               [&](size_t j) { csr.nbr[j] = dsts[csr.arc[j]]; });
+  return csr;
+}
+
+}  // namespace parspan

@@ -49,14 +49,23 @@ T parallel_reduce(size_t lo, size_t hi, T init, F&& f, C&& combine,
     for (size_t i = lo; i < hi; ++i) acc = combine(acc, f(i));
     return acc;
   }
+  // Each thread seeds its accumulator from its first element, not from
+  // `init`: folding `init` into every per-thread accumulator (and again at
+  // the end) would count a non-identity init p + 1 times.
   T result = init;
 #pragma omp parallel
   {
-    T local = init;
+    T local{};
+    bool has_local = false;
 #pragma omp for schedule(static) nowait
-    for (size_t i = lo; i < hi; ++i) local = combine(local, f(i));
+    for (size_t i = lo; i < hi; ++i) {
+      local = has_local ? combine(local, f(i)) : f(i);
+      has_local = true;
+    }
+    if (has_local) {
 #pragma omp critical
-    result = combine(result, local);
+      result = combine(result, local);
+    }
   }
   return result;
 }

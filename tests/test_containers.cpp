@@ -8,6 +8,7 @@
 
 #include "container/concurrent_map.hpp"
 #include "container/counted_treap.hpp"
+#include "container/flat_map.hpp"
 #include "container/priority_list.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/rng.hpp"
@@ -98,6 +99,132 @@ TEST(CountedTreap, RandomizedAgainstStdMap) {
   for (auto& [k, v] : ref) keys.push_back(k);
   for (size_t k = 1; k <= keys.size(); ++k)
     EXPECT_EQ(t.select_desc(k).first, keys[keys.size() - k]);
+}
+
+TEST(CountedTreap, BuildSortedMatchesIncrementalInserts) {
+  Rng rng(41);
+  std::set<uint64_t> keyset;
+  while (keyset.size() < 3000) keyset.insert(rng.next_below(1u << 20));
+  std::vector<std::pair<uint64_t, uint64_t>> xs;
+  for (uint64_t k : keyset) xs.push_back({k, k * 3});
+  CountedTreap<uint64_t> bulk, incr;
+  bulk.build_sorted(xs.data(), xs.size());
+  for (auto& [k, v] : xs) incr.insert(k, v);
+  ASSERT_EQ(bulk.size(), xs.size());
+  // Same order statistics, ranks and lookups as the insert-built tree.
+  for (size_t k = 1; k <= xs.size(); k += 37)
+    EXPECT_EQ(bulk.select_desc(k).first, incr.select_desc(k).first);
+  for (auto& [k, v] : xs) {
+    ASSERT_NE(bulk.find(k), nullptr);
+    EXPECT_EQ(*bulk.find(k), v);
+    EXPECT_EQ(bulk.rank_desc(k), incr.rank_desc(k));
+  }
+  // Bulk-built trees accept further dynamic updates.
+  EXPECT_TRUE(bulk.erase(xs[10].first));
+  bulk.insert(xs[10].first, 7);
+  EXPECT_EQ(*bulk.find(xs[10].first), 7u);
+  EXPECT_EQ(bulk.size(), xs.size());
+}
+
+TEST(CountedTreap, BuildSortedEmptyAndSingle) {
+  CountedTreap<int> t;
+  t.build_sorted(nullptr, 0);
+  EXPECT_TRUE(t.empty());
+  std::pair<uint64_t, int> one{42, 7};
+  t.build_sorted(&one, 1);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.find(42), 7);
+}
+
+TEST(FlatHashMap, BasicOps) {
+  FlatHashMap<uint64_t, uint32_t> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(5), nullptr);
+  EXPECT_FALSE(m.erase(5));
+  m[5] = 50;
+  m[9] = 90;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(5), 50u);
+  EXPECT_TRUE(m.contains(9));
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_TRUE(m.erase(5));
+  EXPECT_FALSE(m.erase(5));
+  EXPECT_EQ(m.size(), 1u);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.contains(9));
+}
+
+TEST(FlatHashMap, RandomizedAgainstStdMap) {
+  Rng rng(123);
+  FlatHashMap<uint64_t, uint64_t> m;
+  std::map<uint64_t, uint64_t> ref;
+  // Small key universe maximizes collision chains and backward-shift moves.
+  for (int step = 0; step < 50000; ++step) {
+    uint64_t key = rng.next_below(300);
+    int op = int(rng.next_below(3));
+    if (op == 0) {
+      uint64_t v = rng.next();
+      m[key] = v;
+      ref[key] = v;
+    } else if (op == 1) {
+      EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+    } else {
+      auto* v = m.find(key);
+      auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(v, nullptr);
+      } else {
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, it->second);
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  size_t visited = 0;
+  m.for_each([&](uint64_t k, uint64_t& v) {
+    ++visited;
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatHashMap, SentinelKeyLookupsAreAbsent) {
+  // The all-ones key is the empty-slot sentinel; querying it must answer
+  // "absent" (not match an empty slot) even in release builds.
+  FlatHashMap<uint64_t, uint32_t> m;
+  constexpr uint64_t sentinel = FlatHashMap<uint64_t, uint32_t>::kEmptyKey;
+  m[1] = 10;
+  EXPECT_EQ(m.find(sentinel), nullptr);
+  EXPECT_FALSE(m.contains(sentinel));
+  EXPECT_FALSE(m.erase(sentinel));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMap, ReserveAvoidsGrowthAndKeepsEntries) {
+  FlatHashMap<uint32_t, uint32_t> m;
+  m.reserve(1000);
+  for (uint32_t i = 0; i < 1000; ++i) m[i] = i * 2;
+  EXPECT_EQ(m.size(), 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(*m.find(i), i * 2);
+}
+
+TEST(FlatHashSet, InsertEraseAnyMember) {
+  FlatHashSet<uint32_t> s;
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.insert(8));
+  EXPECT_EQ(s.size(), 2u);
+  uint32_t a = s.any();
+  EXPECT_TRUE(a == 3 || a == 8);
+  EXPECT_TRUE(s.erase(a));
+  EXPECT_EQ(s.any(), a == 3 ? 8u : 3u);
+  std::set<uint32_t> seen;
+  s.for_each([&](uint32_t k) { seen.insert(k); });
+  EXPECT_EQ(seen.size(), 1u);
 }
 
 TEST(PriorityList, PaperInterfaceSemantics) {

@@ -66,6 +66,86 @@ TEST(DynamicGraph, RandomizedAgainstSetOracle) {
   EXPECT_EQ(edges.size(), oracle.size());
 }
 
+TEST(DynamicGraph, SelfLoopsAndOutOfRangeIgnored) {
+  DynamicGraph g(4);
+  auto ins = g.insert_edges({{0, 0}, {1, 1}, {0, 7}, {9, 1}, {2, 3}});
+  EXPECT_EQ(ins.size(), 1u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+  auto del = g.erase_edges({{0, 0}, {3, 9}, {3, 2}});
+  EXPECT_EQ(del.size(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DynamicGraph, InBatchDuplicatesApplyOnce) {
+  DynamicGraph g(5);
+  auto ins = g.insert_edges({{0, 1}, {1, 0}, {0, 1}, {4, 2}, {2, 4}});
+  EXPECT_EQ(ins.size(), 2u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  auto del = g.erase_edges({{1, 0}, {0, 1}, {0, 1}});
+  EXPECT_EQ(del.size(), 1u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(DynamicGraph, DeleteThenReinsert) {
+  DynamicGraph g(6);
+  g.insert_edges({{0, 1}, {1, 2}, {2, 3}});
+  g.erase_edges({{1, 2}});
+  EXPECT_FALSE(g.has_edge(1, 2));
+  auto ins = g.insert_edges({{2, 1}});
+  EXPECT_EQ(ins.size(), 1u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 3u);
+  // Positions stay consistent across several churn rounds on the same keys.
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(g.erase_edges({{0, 1}, {2, 3}}).size(), 2u);
+    EXPECT_EQ(g.insert_edges({{0, 1}, {2, 3}}).size(), 2u);
+  }
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(DynamicGraph, AbsentEdgeDeletesIgnored) {
+  DynamicGraph g(5);
+  g.insert_edges({{0, 1}});
+  auto del = g.erase_edges({{2, 3}, {0, 2}, {0, 1}, {0, 1}});
+  EXPECT_EQ(del.size(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  // Deleting from an empty graph is a no-op.
+  EXPECT_TRUE(g.erase_edges({{0, 1}, {2, 3}}).empty());
+}
+
+TEST(DynamicGraph, SwapRemovalKeepsAdjacencyConsistent) {
+  // Star around 0 forces swap-removal to relocate arcs inside adj_[0];
+  // the moved neighbor's stored position must be repaired.
+  const size_t n = 40;
+  DynamicGraph g(n);
+  std::vector<Edge> star;
+  for (VertexId v = 1; v < n; ++v) star.emplace_back(0, v);
+  g.insert_edges(star);
+  Rng rng(77);
+  std::set<EdgeKey> oracle;
+  for (auto& e : star) oracle.insert(e.key());
+  for (int step = 0; step < 50; ++step) {
+    VertexId v = VertexId(1 + rng.next_below(n - 1));
+    Edge e(0, v);
+    if (oracle.count(e.key())) {
+      EXPECT_EQ(g.erase_edges({e}).size(), 1u);
+      oracle.erase(e.key());
+    } else {
+      EXPECT_EQ(g.insert_edges({e}).size(), 1u);
+      oracle.insert(e.key());
+    }
+    ASSERT_EQ(g.num_edges(), oracle.size());
+    for (VertexId w = 1; w < n; ++w)
+      ASSERT_EQ(g.has_edge(0, w), oracle.count(edge_key(0, w)) > 0);
+  }
+}
+
 TEST(Generators, ErdosRenyiCounts) {
   auto edges = gen_erdos_renyi(100, 500, 7);
   EXPECT_EQ(edges.size(), 500u);

@@ -105,5 +105,32 @@ TEST(Reduce, SumMatches) {
   EXPECT_EQ(total, 100000L);
 }
 
+// Regression: each parallel worker used to seed its accumulator with `init`
+// and the final combine added `init` once more, so a non-identity init was
+// counted p + 1 times. The trip count must exceed the parallel grain to
+// exercise the parallel path.
+TEST(Reduce, NonIdentityInitCountedOnce) {
+  const size_t n = 100000;
+  auto total = parallel_reduce(
+      0, n, 1000L, [](size_t) { return 1L; },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(total, 1000L + long(n));
+}
+
+TEST(Reduce, NonIdentityInitMax) {
+  const size_t n = 50000;
+  auto mx = parallel_reduce(
+      0, n, 123456L, [](size_t i) { return long(i); },
+      [](long a, long b) { return a > b ? a : b; });
+  EXPECT_EQ(mx, 123456L);  // init dominates every element
+}
+
+TEST(Reduce, EmptyRangeReturnsInit) {
+  auto total = parallel_reduce(
+      5, 5, 42L, [](size_t) { return 1L; },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(total, 42L);
+}
+
 }  // namespace
 }  // namespace parspan
