@@ -12,8 +12,29 @@
 
 namespace parspan {
 
+SpannerDiff DiffAccumulator::drain() {
+  SpannerDiff diff;
+  for (EdgeKey ek : touched_) {
+    int32_t* d = delta_.find(ek);
+    assert(d != nullptr && *d >= -1 && *d <= 1);
+    if (*d > 0) diff.inserted.push_back(edge_from_key(ek));
+    if (*d < 0) diff.removed.push_back(edge_from_key(ek));
+    delta_.erase(ek);
+  }
+  touched_.clear();
+  parallel_sort(diff.inserted);
+  parallel_sort(diff.removed);
+  return diff;
+}
+
 DecrementalClusterSpanner::DecrementalClusterSpanner(
     size_t n, const std::vector<Edge>& edges,
+    const ClusterSpannerConfig& cfg)
+    : DecrementalClusterSpanner(n, FromSortedKeys{},
+                                canonical_edge_keys(n, edges), cfg) {}
+
+DecrementalClusterSpanner::DecrementalClusterSpanner(
+    size_t n, FromSortedKeys, std::vector<EdgeKey> sorted_keys,
     const ClusterSpannerConfig& cfg)
     : n_(n), cfg_(cfg) {
   assert(n >= 1);
@@ -65,10 +86,14 @@ DecrementalClusterSpanner::DecrementalClusterSpanner(
         uint32_t(r + 1);
   });
 
-  // --- Deduplicate edges, build the arc table. ---
-  // Parallel canonicalize + sort_unique, then a lock-free index build; no
+  // --- Build the arc table from the pre-canonicalized keys. ---
+  // Keys arrive sorted ascending and unique (delegating ctor or the caller's
+  // merge-as-sort); the index build is a lock-free parallel fill with no
   // hash-node allocation per edge.
-  std::vector<EdgeKey> keys = canonical_edge_keys(n, edges);
+  const std::vector<EdgeKey>& keys = sorted_keys;
+  assert(std::is_sorted(keys.begin(), keys.end()));
+  assert(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+  assert(keys.empty() || keys.back() != kNoEdge);
   edges_.resize(keys.size());
   edge_index_.rebuild(keys.size());
   parallel_for(0, keys.size(), [&](size_t i) {
@@ -207,14 +232,15 @@ DecrementalClusterSpanner::DecrementalClusterSpanner(
         Group& g = groups_[x][c];
         g.members.reserve(k - j);
         for (size_t idx = j; idx < k; ++idx)
-          g.members.insert(scratch[idx].second);
+          g.members.push_back(scratch[idx].second);
         g.rep = scratch[j].second;
         if (c != cluster_[x]) add_contrib(edge_key(x, g.rep));
         j = k;
       }
     }
   }
-  batch_delta_.clear();  // init contributions are not a "diff"
+  // Init contributions are not a "diff".
+  batch_delta_.reset();
 
   dirty_epoch_.assign(n, 0);
   distch_epoch_.assign(n, 0);
@@ -228,7 +254,7 @@ VertexId DecrementalClusterSpanner::cluster_from_parent(VertexId v) const {
 }
 
 void DecrementalClusterSpanner::add_contrib(EdgeKey e) {
-  if (++contrib_[e] == 1) ++batch_delta_[e];
+  if (++contrib_[e] == 1) batch_delta_.add(e);
 }
 
 void DecrementalClusterSpanner::remove_contrib(EdgeKey e) {
@@ -236,7 +262,7 @@ void DecrementalClusterSpanner::remove_contrib(EdgeKey e) {
   assert(c != nullptr);
   if (--*c == 0) {
     contrib_.erase(e);
-    --batch_delta_[e];
+    batch_delta_.remove(e);
   }
 }
 
@@ -258,11 +284,12 @@ void DecrementalClusterSpanner::add_membership(VertexId x, VertexId c,
   Group* g = groups_[x].find(c);
   if (g == nullptr) {
     Group& ng = groups_[x][c];
-    ng.members.insert(other);
+    ng.members.push_back(other);
     ng.rep = other;
     if (c != cluster_[x]) add_contrib(edge_key(x, other));
   } else {
-    g->members.insert(other);
+    assert(!g->contains(other));
+    g->members.push_back(other);
   }
 }
 
@@ -270,15 +297,12 @@ void DecrementalClusterSpanner::remove_membership(VertexId x, VertexId c,
                                                   VertexId other) {
   Group* g = groups_[x].find(c);
   assert(g != nullptr);
-  bool erased = g->members.erase(other);
-  assert(erased);
-  (void)erased;
-  if (g->members.empty()) {
+  if (g->erase_member(other)) {
     VertexId rep = g->rep;
     if (c != cluster_[x]) remove_contrib(edge_key(x, rep));
     groups_[x].erase(c);
   } else if (g->rep == other) {
-    VertexId nr = g->members.any();
+    VertexId nr = g->members.front();
     if (c != cluster_[x]) {
       remove_contrib(edge_key(x, other));
       add_contrib(edge_key(x, nr));
@@ -295,9 +319,7 @@ void DecrementalClusterSpanner::flag_dirty(
 }
 
 void DecrementalClusterSpanner::apply_cluster_change(
-    VertexId v, VertexId newc, std::vector<std::vector<VertexId>>& buckets,
-    std::vector<VertexId>& bucket_order) {
-  (void)bucket_order;
+    VertexId v, VertexId newc, std::vector<std::vector<VertexId>>& buckets) {
   VertexId oldc = cluster_[v];
   assert(newc != oldc);
   ++cluster_change_count_;
@@ -331,7 +353,7 @@ void DecrementalClusterSpanner::apply_cluster_change(
 SpannerDiff DecrementalClusterSpanner::delete_edges(
     const std::vector<Edge>& batch) {
   ++epoch_;
-  batch_delta_.clear();
+  assert(batch_delta_.empty() && "previous batch drained its delta");
 
   // --- Step 1: kill edges; detach their InterCluster memberships using the
   // pre-batch cluster values. ---
@@ -355,37 +377,54 @@ SpannerDiff DecrementalClusterSpanner::delete_edges(
   last_phases_ = rep.phases;
 
   // --- Step 3: cluster cascade in level order. ---
-  for (VertexId v : rep.dist_changed)
-    if (v < n_) distch_epoch_[v] = epoch_;
+  // The ES repair report is applied batch-style: distance stamps are a
+  // parallel loop, the dirty buckets are then seeded serially so their fill
+  // order (and thus every downstream tie-break) is thread-count independent.
+  parallel_for(
+      0, rep.dist_changed.size(),
+      [&](size_t i) {
+        VertexId v = rep.dist_changed[i];
+        if (v < n_) distch_epoch_[v] = epoch_;
+      },
+      1024);
   std::vector<std::vector<VertexId>> buckets(t_ + 2);
-  std::vector<VertexId> bucket_order;
   for (auto& [v, old_arc] : rep.parent_changed)
     if (v < n_) flag_dirty(v, buckets);
 
+  // Each level runs in two phases (DESIGN.md §6). Phase A re-selects
+  // parents in parallel: rescan touches only v-local ES state (scan
+  // pointer, parent arc) and reads distances/keys that are final for level
+  // d-1, so bucket members are independent. Arc re-keys issued by same-level
+  // peers in the serial version never affect a level-d parent choice (their
+  // sources sit at level d, not d-1), which is what makes the phase split
+  // result-identical to the old interleaved loop. Phase B applies
+  // contribution and cluster changes serially in bucket order, so the diff
+  // and every group-representative election stay deterministic.
   for (uint32_t d = 1; d <= t_; ++d) {
-    // Buckets may grow at levels > d while processing level d.
-    for (size_t idx = 0; idx < buckets[d].size(); ++idx) {
-      VertexId v = buckets[d][idx];
-      assert(es_.dist(v) == d);
-      if (distch_epoch_[v] == epoch_)
-        es_.rescan_from_head(v);
-      else
-        es_.rescan(v);
+    std::vector<VertexId>& bucket = buckets[d];
+    // Cluster changes at level d only flag level d+1 (dist(w) == d+1), so
+    // `bucket` is complete before the level starts.
+    parallel_for(
+        0, bucket.size(),
+        [&](size_t idx) {
+          VertexId v = bucket[idx];
+          assert(es_.dist(v) == d);
+          if (distch_epoch_[v] == epoch_)
+            es_.rescan_from_head(v);
+          else
+            es_.rescan(v);
+        },
+        64);
+    for (size_t idx = 0; idx < bucket.size(); ++idx) {
+      VertexId v = bucket[idx];
       refresh_tree_contrib(v);
       VertexId newc = cluster_from_parent(v);
-      if (newc != cluster_[v])
-        apply_cluster_change(v, newc, buckets, bucket_order);
+      if (newc != cluster_[v]) apply_cluster_change(v, newc, buckets);
     }
   }
 
-  // --- Step 4: compile the net diff. ---
-  SpannerDiff diff;
-  batch_delta_.for_each([&](EdgeKey ek, int32_t d) {
-    assert(d >= -1 && d <= 1);
-    if (d > 0) diff.inserted.push_back(edge_from_key(ek));
-    if (d < 0) diff.removed.push_back(edge_from_key(ek));
-  });
-  return diff;
+  // --- Step 4: compile the net diff by draining the touched keys. ---
+  return batch_delta_.drain();
 }
 
 std::vector<Edge> DecrementalClusterSpanner::spanner_edges() const {
@@ -490,8 +529,8 @@ bool DecrementalClusterSpanner::check_invariants() const {
           return;
         }
         for (VertexId m : it->second)
-          if (!g.members.contains(m)) ok = false;
-        if (!g.members.contains(g.rep)) ok = false;
+          if (!g.contains(m)) ok = false;
+        if (!g.contains(g.rep)) ok = false;
         if (c != cluster_[v]) ++expect[edge_key(v, g.rep)];
       });
       if (!ok) return false;

@@ -28,12 +28,30 @@
 // distances and final cluster priorities. Vertices whose distance changed
 // re-select from the head of In(v); distance-stable vertices use the
 // forward-only NextWith (their candidates' priorities can only drop).
+// Each level runs two phases — parallel parent re-selection, then serial
+// deterministic application of contribution and cluster changes
+// (DESIGN.md §6.3).
 //
 // With cfg.intercluster = false the structure maintains only the forest of
 // intra-cluster tree edges — the per-instance mode of the monotone spanner
 // (Lemma 6.4), where beta is an explicit constant.
+//
+// Batch semantics: delete_edges applies the whole batch atomically — the
+// returned SpannerDiff is the NET change between the spanner before and
+// after the batch (an edge that enters and leaves within one batch does not
+// appear), with inserted/removed each sorted by canonical edge key. The
+// diff is a deterministic function of (construction inputs, deletion batch
+// history): it does not depend on the worker-thread count (DESIGN.md §6).
+//
+// Thread safety: construction and delete_edges parallelize internally but
+// external calls must be serialized — one batch at a time, no concurrent
+// readers during a batch. Distinct instances are fully independent and may
+// be constructed/updated concurrently (the Bentley-Saxe layer of Theorem
+// 1.1 rebuilds disjoint partitions in parallel this way).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -45,10 +63,44 @@
 
 namespace parspan {
 
-/// Net change of a spanner edge set after one update batch.
+/// Net change of a spanner edge set after one update batch. Producers in
+/// core/ emit both sides sorted by canonical edge key, so equal spanner
+/// evolutions compare equal element-wise.
 struct SpannerDiff {
   std::vector<Edge> inserted;
   std::vector<Edge> removed;
+};
+
+/// Per-batch net-diff accumulator shared by the spanner layers: a flat
+/// delta table plus the list of keys it holds. Draining by touched key
+/// keeps diff compilation O(batch) — a clear() would scan the table's
+/// whole high-water capacity every batch (DESIGN.md §6.4).
+class DiffAccumulator {
+ public:
+  void bump(EdgeKey e, int32_t dir) {
+    size_t before = delta_.size();
+    int32_t& d = delta_[e];
+    if (delta_.size() != before) touched_.push_back(e);
+    d += dir;
+  }
+  void add(EdgeKey e) { bump(e, +1); }
+  void remove(EdgeKey e) { bump(e, -1); }
+
+  bool empty() const { return delta_.empty(); }
+
+  /// Compiles the net diff (both sides sorted by canonical key) and leaves
+  /// the accumulator empty. Net values must lie in [-1, 1].
+  SpannerDiff drain();
+
+  /// Discards all accumulated state without compiling a diff.
+  void reset() {
+    delta_.clear();
+    touched_.clear();
+  }
+
+ private:
+  FlatHashMap<EdgeKey, int32_t> delta_;
+  std::vector<EdgeKey> touched_;
 };
 
 struct ClusterSpannerConfig {
@@ -68,6 +120,17 @@ struct ClusterSpannerConfig {
 class DecrementalClusterSpanner {
  public:
   DecrementalClusterSpanner(size_t n, const std::vector<Edge>& edges,
+                            const ClusterSpannerConfig& cfg);
+
+  /// Tag selecting the pre-canonicalized construction path.
+  struct FromSortedKeys {};
+
+  /// Construction from canonical edge keys, sorted ascending and unique
+  /// (the output format of canonical_edge_keys). Skips the dedup sort —
+  /// this is the entry point the Bentley-Saxe partition rebuild uses after
+  /// its own merge-as-sort already produced exactly this representation.
+  DecrementalClusterSpanner(size_t n, FromSortedKeys,
+                            std::vector<EdgeKey> sorted_keys,
                             const ClusterSpannerConfig& cfg);
 
   size_t num_vertices() const { return n_; }
@@ -120,8 +183,7 @@ class DecrementalClusterSpanner {
   void add_membership(VertexId x, VertexId c, VertexId other);
   void remove_membership(VertexId x, VertexId c, VertexId other);
   void apply_cluster_change(VertexId v, VertexId newc,
-                            std::vector<std::vector<VertexId>>& buckets,
-                            std::vector<VertexId>& bucket_order);
+                            std::vector<std::vector<VertexId>>& buckets);
   void flag_dirty(VertexId v, std::vector<std::vector<VertexId>>& buckets);
 
   size_t n_ = 0;
@@ -144,16 +206,31 @@ class DecrementalClusterSpanner {
   std::vector<EdgeKey> tree_contrib_;  // per-vertex tree edge, kNoEdge if none
 
   /// InterCluster[(v, c)]: neighbors of v lying in cluster c, plus the
-  /// designated representative (paper's hash table of hash tables; realized
-  /// as flat open-addressing tables — DESIGN.md §1).
+  /// designated representative (paper's hash table of hash tables; the
+  /// outer level is a flat open-addressing table — DESIGN.md §1). Members
+  /// are a small unordered vector (erase = swap-pop): group sizes are
+  /// degree-bounded and average 1-2 entries, where a linear scan beats any
+  /// hash structure and teardown is one vector free.
   struct Group {
-    FlatHashSet<VertexId> members;
+    std::vector<VertexId> members;
     VertexId rep = kNoVertex;
+
+    bool contains(VertexId m) const {
+      return std::find(members.begin(), members.end(), m) != members.end();
+    }
+    /// Removes m (must be present); returns true if the group emptied.
+    bool erase_member(VertexId m) {
+      auto it = std::find(members.begin(), members.end(), m);
+      assert(it != members.end());
+      *it = members.back();
+      members.pop_back();
+      return members.empty();
+    }
   };
   std::vector<FlatHashMap<VertexId, Group>> groups_;
 
-  FlatHashMap<EdgeKey, uint32_t> contrib_;     // spanner refcounts
-  FlatHashMap<EdgeKey, int32_t> batch_delta_;  // diff accumulator
+  FlatHashMap<EdgeKey, uint32_t> contrib_;  // spanner refcounts
+  DiffAccumulator batch_delta_;             // per-batch diff (DESIGN.md §6.4)
 
   // Cascade scratch (epoch-stamped to keep per-batch work batch-sized).
   std::vector<uint64_t> dirty_epoch_;

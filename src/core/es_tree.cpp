@@ -5,6 +5,7 @@
 
 #include "parallel/csr.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
 
 namespace parspan {
 
@@ -110,7 +111,16 @@ int32_t ESTree::next_with(VertexId v, uint64_t from_key) {
     }
     return true;
   });
-  counters_.scan_steps += steps;
+  // next_with runs inside parallel loops (Algorithm 1's per-phase scans,
+  // the cluster cascade's phase A), where the shared counter add must be
+  // atomic; serial callers skip the RMW. The sum is order-independent
+  // either way, keeping the counters deterministic.
+  if (omp_in_parallel()) {
+#pragma omp atomic
+    counters_.scan_steps += steps;
+  } else {
+    counters_.scan_steps += steps;
+  }
   return found;
 }
 
@@ -128,18 +138,44 @@ ESTree::DeletionReport ESTree::delete_arcs(
   ++batch_epoch_;
 
   // --- Step 1: remove all the arcs from the data structures. ---
-  std::vector<VertexId> orphaned;  // tree-arc destinations
+  // Batched: invalidate serially (dedups repeated ids), then group the
+  // doomed arcs by destination — distinct destinations own independent
+  // in-trees, so the treap erases run as a parallel loop over groups. The
+  // orphan list is compiled serially in (dst, arc) order afterwards, which
+  // keeps every downstream queue fill deterministic across thread counts.
+  std::vector<std::pair<VertexId, uint32_t>> doomed;
+  doomed.reserve(arc_ids.size());
   for (uint32_t a : arc_ids) {
     if (a >= arcs_.size() || !arcs_[a].valid) continue;
-    Arc& arc = arcs_[a];
-    arc.valid = false;
-    in_[arc.dst].erase(arc.key);
-    ++counters_.treap_ops;
-    if (parent_arc_[arc.dst] == int32_t(a)) {
-      note_parent_change(arc.dst);
-      parent_arc_[arc.dst] = kNoArc;
-      orphaned.push_back(arc.dst);
-    }
+    arcs_[a].valid = false;
+    doomed.push_back({arcs_[a].dst, a});
+  }
+  parallel_sort(doomed);
+  std::vector<size_t> group_start;
+  for (size_t i = 0; i < doomed.size(); ++i)
+    if (i == 0 || doomed[i].first != doomed[i - 1].first)
+      group_start.push_back(i);
+  group_start.push_back(doomed.size());
+  size_t num_groups = group_start.empty() ? 0 : group_start.size() - 1;
+  std::vector<uint8_t> lost_parent(num_groups, 0);
+  parallel_for(
+      0, num_groups,
+      [&](size_t g) {
+        for (size_t i = group_start[g]; i < group_start[g + 1]; ++i) {
+          auto [dst, a] = doomed[i];
+          in_[dst].erase(arcs_[a].key);
+          if (parent_arc_[dst] == int32_t(a)) lost_parent[g] = 1;
+        }
+      },
+      16);
+  counters_.treap_ops += doomed.size();
+  std::vector<VertexId> orphaned;  // tree-arc destinations
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (!lost_parent[g]) continue;
+    VertexId dst = doomed[group_start[g]].first;
+    note_parent_change(dst);
+    parent_arc_[dst] = kNoArc;
+    orphaned.push_back(dst);
   }
 
   // --- Step 2: each orphaned vertex advances Scan(v) with NextWith. ---

@@ -21,7 +21,15 @@
 //
 // Work/depth: O(L log n) amortized work per deleted arc and O(L) phases per
 // batch (each phase is a parallel loop over U), matching Theorem 1.2 with
-// phases as the depth proxy.
+// phases as the depth proxy. Batch arc removal is also parallel: doomed
+// arcs are grouped by destination (distinct destinations own independent
+// in-trees) and the treap erases fan out over groups, with the orphan list
+// compiled serially in (dst, arc) order so every downstream queue fill is
+// thread-count independent (DESIGN.md §6.3).
+//
+// Thread safety: calls into one ESTree must be serialized; the structure
+// parallelizes internally. Work counters are accumulated with atomic adds
+// where they sit inside parallel loops, so their totals are deterministic.
 #pragma once
 
 #include <cstdint>

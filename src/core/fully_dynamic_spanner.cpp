@@ -1,9 +1,14 @@
 #include "core/fully_dynamic_spanner.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "parallel/csr.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
 #include "util/rng.hpp"
 
 namespace parspan {
@@ -18,30 +23,26 @@ FullyDynamicSpanner::FullyDynamicSpanner(
   l0_ = 0;
   while (std::pow(2.0, double(l0_)) < target) ++l0_;
 
-  // Deduplicated initial edges.
-  std::vector<Edge> edges;
-  for (const Edge& e : initial) {
-    if (e.u == e.v || e.u >= n || e.v >= n) continue;
-    if (index_.count(e.key())) continue;
-    index_[e.key()] = 0;  // placeholder, fixed below
-    edges.push_back(e);
-  }
-  // Smallest j with |E| <= 2^{j+l0}.
+  // Canonicalize + dedup with one parallel sort, then install everything in
+  // the smallest slot j with |E| <= 2^{j+l0}.
+  std::vector<EdgeKey> keys = canonical_edge_keys(n, initial);
   size_t j = 0;
-  while (capacity(j) < edges.size()) ++j;
+  while (capacity(j) < keys.size()) ++j;
   ensure_parts(j);
-  if (j == 0) {
-    for (const Edge& e : edges) parts_[0].edges.insert(e.key());
-  } else {
-    parts_[j].edges.reserve(edges.size() * 2);
-    for (const Edge& e : edges) parts_[j].edges.insert(e.key());
+  index_.reserve(keys.size());
+  parts_[j].edges.reserve(keys.size());
+  for (EdgeKey ek : keys) {
+    parts_[j].edges.insert(ek);
+    index_[ek] = uint32_t(j);
+  }
+  if (j > 0) {
     ClusterSpannerConfig scfg;
     scfg.k = cfg_.k;
     scfg.seed = hash_combine(cfg_.seed, ++instance_counter_);
-    parts_[j].spanner =
-        std::make_unique<DecrementalClusterSpanner>(n_, edges, scfg);
+    parts_[j].spanner = std::make_unique<DecrementalClusterSpanner>(
+        n_, DecrementalClusterSpanner::FromSortedKeys{}, std::move(keys),
+        scfg);
   }
-  for (const Edge& e : edges) index_[e.key()] = uint32_t(j);
 }
 
 void FullyDynamicSpanner::ensure_parts(size_t j) {
@@ -63,7 +64,8 @@ std::vector<Edge> FullyDynamicSpanner::spanner_edges() const {
   std::vector<Edge> out;
   for (size_t i = 0; i < parts_.size(); ++i) {
     if (i == 0 || !parts_[i].spanner) {
-      for (EdgeKey ek : parts_[i].edges) out.push_back(edge_from_key(ek));
+      parts_[i].edges.for_each(
+          [&](EdgeKey ek) { out.push_back(edge_from_key(ek)); });
     } else {
       auto h = parts_[i].spanner->spanner_edges();
       out.insert(out.end(), h.begin(), h.end());
@@ -72,79 +74,103 @@ std::vector<Edge> FullyDynamicSpanner::spanner_edges() const {
   return out;
 }
 
-void FullyDynamicSpanner::rebuild_into(size_t j, size_t lo,
-                                       const std::vector<Edge>& fresh) {
+void FullyDynamicSpanner::prepare_rebuild(size_t j, size_t lo,
+                                          std::vector<EdgeKey> fresh,
+                                          std::vector<RebuildJob>& jobs) {
   ensure_parts(j);
   assert(parts_[j].edges.empty());
   ++rebuilds_;
-  std::vector<Edge> merged = fresh;
+  std::vector<EdgeKey> merged = std::move(fresh);
+  size_t total = merged.size();
+  for (size_t i = lo; i < j; ++i) total += parts_[i].edges.size();
+  merged.reserve(total);
   for (size_t i = lo; i < j; ++i) {
     Partition& p = parts_[i];
     if (p.edges.empty()) {
       p.spanner.reset();
       continue;
     }
-    // Current spanner contributions of the absorbed partition leave.
-    if (i == 0 || !p.spanner) {
-      for (EdgeKey ek : p.edges) delta_remove(ek);
+    // A slot filled earlier in this batch whose instance is still pending:
+    // cancel the job and take its edges. It never entered the diff (delta
+    // adds happen at install), so no contributions leave here.
+    RebuildJob* pending = nullptr;
+    for (RebuildJob& job : jobs)
+      if (!job.cancelled && job.j == uint32_t(i)) pending = &job;
+    if (pending != nullptr) {
+      assert(!p.spanner);
+      pending->cancelled = true;
+      merged.insert(merged.end(), pending->merged.begin(),
+                    pending->merged.end());
+    } else if (i == 0 || !p.spanner) {
+      // Current spanner contributions of the absorbed partition leave.
+      p.edges.for_each([&](EdgeKey ek) {
+        delta_.remove(ek);
+        merged.push_back(ek);
+      });
     } else {
       for (const Edge& e : p.spanner->spanner_edges())
-        delta_remove(e.key());
+        delta_.remove(e.key());
+      p.edges.for_each([&](EdgeKey ek) { merged.push_back(ek); });
     }
-    for (EdgeKey ek : p.edges) merged.push_back(edge_from_key(ek));
-    p.edges.clear();
+    p.edges = FlatHashSet<EdgeKey>{};  // release the absorbed slot array
     p.spanner.reset();
   }
+  // U_i ∪ E_lo..E_{j-1} as one parallel sort (partitions are disjoint and
+  // fresh keys are new, so the union is already duplicate-free).
+  parallel_sort(merged);
+  assert(std::adjacent_find(merged.begin(), merged.end()) == merged.end());
   assert(merged.size() <= capacity(j));
-  for (const Edge& e : merged) {
-    parts_[j].edges.insert(e.key());
-    index_[e.key()] = uint32_t(j);
+  Partition& pj = parts_[j];
+  pj.edges.reserve(merged.size());
+  for (EdgeKey ek : merged) {
+    pj.edges.insert(ek);
+    index_[ek] = uint32_t(j);
   }
   if (j == 0) {
-    // E_0 keeps everything in the spanner.
-    for (const Edge& e : merged) delta_add(e.key());
+    // E_0 keeps everything in the spanner; no instance to build.
+    for (EdgeKey ek : merged) delta_.add(ek);
     return;
   }
-  ClusterSpannerConfig scfg;
-  scfg.k = cfg_.k;
-  scfg.seed = hash_combine(cfg_.seed, ++instance_counter_);
-  parts_[j].spanner =
-      std::make_unique<DecrementalClusterSpanner>(n_, merged, scfg);
-  for (const Edge& e : parts_[j].spanner->spanner_edges())
-    delta_add(e.key());
+  RebuildJob job;
+  job.j = uint32_t(j);
+  job.seed = hash_combine(cfg_.seed, ++instance_counter_);
+  job.merged = std::move(merged);
+  jobs.push_back(std::move(job));
 }
 
 SpannerDiff FullyDynamicSpanner::update(const std::vector<Edge>& insertions,
                                         const std::vector<Edge>& deletions) {
-  delta_.clear();
+  assert(delta_.empty() && "previous batch drained its delta");
 
   // --- Deletions: route to partitions through Index. ---
   std::vector<std::vector<Edge>> per_part(parts_.size());
   for (const Edge& e : deletions) {
-    auto it = index_.find(e.key());
-    if (it == index_.end()) continue;
-    per_part[it->second].push_back(e);
-    index_.erase(it);
+    uint32_t* slot = index_.find(e.key());
+    if (slot == nullptr) continue;
+    per_part[*slot].push_back(e);
+    index_.erase(e.key());
   }
   for (size_t i = 0; i < per_part.size(); ++i) {
     if (per_part[i].empty()) continue;
     Partition& p = parts_[i];
     for (const Edge& e : per_part[i]) p.edges.erase(e.key());
     if (i == 0 || !p.spanner) {
-      for (const Edge& e : per_part[i]) delta_remove(e.key());
+      for (const Edge& e : per_part[i]) delta_.remove(e.key());
     } else {
       absorb_diff(p.spanner->delete_edges(per_part[i]));
     }
   }
 
   // --- Insertions: split U into U_r ∪ U_0 ∪ ... and merge upward. ---
-  std::vector<Edge> u;
+  std::vector<EdgeKey> u;
   for (const Edge& e : insertions) {
     if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
-    if (index_.count(e.key())) continue;  // already alive
-    index_[e.key()] = uint32_t(-1);       // reserved; set by rebuild_into
-    u.push_back(e);
+    EdgeKey ek = e.key();
+    if (index_.contains(ek)) continue;  // already alive (or seen this batch)
+    index_[ek] = kUnassigned;           // reserved; set by prepare_rebuild
+    u.push_back(ek);
   }
+  std::vector<RebuildJob> jobs;
   if (!u.empty()) {
     // Chunk sizes by the binary representation of |U|: highest first.
     size_t remaining = u.size();
@@ -154,39 +180,57 @@ SpannerDiff FullyDynamicSpanner::update(const std::vector<Edge>& insertions,
     for (int i = bmax; i >= 0; --i) {
       size_t chunk = capacity(size_t(i));
       if (remaining < chunk) continue;
-      std::vector<Edge> ui(u.begin() + pos, u.begin() + pos + chunk);
+      std::vector<EdgeKey> ui(u.begin() + pos, u.begin() + pos + chunk);
       pos += chunk;
       remaining -= chunk;
       size_t j = size_t(i);
       while (j < parts_.size() && !parts_[j].edges.empty()) ++j;
-      rebuild_into(j, size_t(i), ui);
+      prepare_rebuild(j, size_t(i), std::move(ui), jobs);
     }
     // Remainder U_r (< 2^{l0}).
     if (remaining > 0) {
-      std::vector<Edge> ur(u.begin() + pos, u.end());
+      std::vector<EdgeKey> ur(u.begin() + pos, u.end());
       ensure_parts(0);
       if (parts_[0].edges.size() + ur.size() <= capacity(0)) {
-        for (const Edge& e : ur) {
-          parts_[0].edges.insert(e.key());
-          index_[e.key()] = 0;
-          delta_add(e.key());
+        for (EdgeKey ek : ur) {
+          parts_[0].edges.insert(ek);
+          index_[ek] = 0;
+          delta_.add(ek);
         }
       } else {
         size_t j = 0;
         while (j < parts_.size() && !parts_[j].edges.empty()) ++j;
-        rebuild_into(j, 0, ur);
+        prepare_rebuild(j, 0, std::move(ur), jobs);
       }
     }
   }
 
-  // --- Compile the net diff. ---
-  SpannerDiff diff;
-  for (auto& [ek, d] : delta_) {
-    assert(d >= -1 && d <= 1);
-    if (d > 0) diff.inserted.push_back(edge_from_key(ek));
-    if (d < 0) diff.removed.push_back(edge_from_key(ek));
+  // --- Build the rebuilt decremental instances concurrently. ---
+  // Jobs target disjoint slots and share no state; each construction is
+  // itself parallel, and nested regions degrade gracefully to serial inner
+  // loops. chunk 1 so distinct jobs land on distinct workers.
+#pragma omp parallel for schedule(dynamic, 1) if (jobs.size() > 1)
+  for (size_t idx = 0; idx < jobs.size(); ++idx) {
+    RebuildJob& job = jobs[idx];
+    if (job.cancelled) continue;
+    ClusterSpannerConfig scfg;
+    scfg.k = cfg_.k;
+    scfg.seed = job.seed;
+    job.built = std::make_unique<DecrementalClusterSpanner>(
+        n_, DecrementalClusterSpanner::FromSortedKeys{},
+        std::move(job.merged), scfg);
   }
-  return diff;
+  // Install + account serially in job order: the diff stays deterministic
+  // no matter how the parallel build phase was scheduled.
+  for (RebuildJob& job : jobs) {
+    if (job.cancelled) continue;
+    parts_[job.j].spanner = std::move(job.built);
+    for (const Edge& e : parts_[job.j].spanner->spanner_edges())
+      delta_.add(e.key());
+  }
+
+  // --- Compile the net diff by draining the touched keys. ---
+  return delta_.drain();
 }
 
 bool FullyDynamicSpanner::check_invariants() const {
@@ -195,16 +239,18 @@ bool FullyDynamicSpanner::check_invariants() const {
     const Partition& p = parts_[i];
     if (p.edges.size() > capacity(i)) return false;  // Invariant B1
     total += p.edges.size();
-    for (EdgeKey ek : p.edges) {
-      auto it = index_.find(ek);
-      if (it == index_.end() || it->second != i) return false;
-    }
+    bool ok = true;
+    p.edges.for_each([&](EdgeKey ek) {
+      const uint32_t* slot = index_.find(ek);
+      if (slot == nullptr || *slot != i) ok = false;
+    });
+    if (!ok) return false;
     if (i >= 1 && p.spanner) {
       if (!p.spanner->check_invariants()) return false;
       // The instance's alive edges must be exactly p.edges.
       if (p.spanner->alive_edges() != p.edges.size()) return false;
       for (const Edge& e : p.spanner->spanner_edges())
-        if (!p.edges.count(e.key())) return false;
+        if (!p.edges.contains(e.key())) return false;
     }
     if (i >= 1 && !p.spanner && !p.edges.empty()) return false;
   }

@@ -13,17 +13,28 @@
 //
 // Batch insertion U splits into U_r ∪ U_0 ∪ ... ∪ U_b with |U_i| = 2^{l0+i}
 // or empty (determined by the binary representation of |U|); each nonempty
-// U_i is merged with E_i..E_{j-1} into the first empty slot E_j (j >= i),
-// rebuilding one decremental instance there. Deletions are routed to their
-// partition through the Index hash table.
+// U_i is merged with E_i..E_{j-1} into the first empty slot E_j (j >= i).
+// The merge is one parallel sort over the union (DESIGN.md §6), and the
+// decremental instances of the rebuilt slots — disjoint by construction —
+// are built concurrently. Deletions are routed to their partition through
+// the flat open-addressing Index table (DESIGN.md §1).
+//
+// Batch semantics: update() applies deletions first, then insertions;
+// duplicates and no-ops are filtered. The returned SpannerDiff is the NET
+// spanner change of the whole batch, both sides sorted by canonical edge
+// key, and is a deterministic function of (n, initial edges, config, batch
+// history) — independent of the worker-thread count (DESIGN.md §6).
+//
+// Thread safety: update() parallelizes internally; external calls must be
+// serialized (one batch at a time, no concurrent reads during a batch).
+// Distinct FullyDynamicSpanner instances are fully independent.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "container/flat_map.hpp"
 #include "core/cluster_spanner.hpp"
 #include "util/types.hpp"
 
@@ -45,10 +56,11 @@ class FullyDynamicSpanner {
   size_t num_edges() const { return index_.size(); }
   size_t spanner_size() const;
   std::vector<Edge> spanner_edges() const;
-  bool has_edge(Edge e) const { return index_.count(e.key()) > 0; }
+  bool has_edge(Edge e) const { return index_.contains(e.key()); }
 
   /// Applies one batch of updates (deletions first, then insertions;
-  /// duplicates and no-ops are filtered). Returns the net spanner diff.
+  /// duplicates and no-ops are filtered). Returns the net spanner diff,
+  /// sorted by canonical edge key on both sides.
   SpannerDiff update(const std::vector<Edge>& insertions,
                      const std::vector<Edge>& deletions);
 
@@ -72,33 +84,54 @@ class FullyDynamicSpanner {
 
  private:
   struct Partition {
-    std::unordered_set<EdgeKey> edges;  // alive edges assigned here
+    FlatHashSet<EdgeKey> edges;  // alive edges assigned here
     std::unique_ptr<DecrementalClusterSpanner> spanner;  // null for E_0
   };
+
+  /// One pending partition rebuild: slot, derived seed, and the merged
+  /// (sorted, unique) edge keys. Jobs target disjoint slots, so their
+  /// instance constructions run concurrently; `built` is filled by the
+  /// parallel build phase and installed serially in job order. A later
+  /// chunk of the same batch may absorb a slot whose job has not been
+  /// built yet — the job is then `cancelled` and its edges move into the
+  /// larger merge (it contributed nothing to the diff yet, so no delta
+  /// accounting is rolled back).
+  struct RebuildJob {
+    uint32_t j = 0;
+    uint64_t seed = 0;
+    bool cancelled = false;
+    std::vector<EdgeKey> merged;
+    std::unique_ptr<DecrementalClusterSpanner> built;
+  };
+
+  /// Index value marking an edge accepted this batch but not yet assigned
+  /// to a partition (set by prepare_rebuild / the E_0 append path).
+  static constexpr uint32_t kUnassigned = static_cast<uint32_t>(-1);
 
   /// Capacity 2^{i+l0} of partition i.
   size_t capacity(size_t i) const { return size_t{1} << (i + l0_); }
 
   void ensure_parts(size_t j);
 
-  /// Rebuilds partition j from the union of `fresh` edges and partitions
-  /// lo..j-1 (which are emptied). Accounts all spanner membership changes
-  /// into delta_.
-  void rebuild_into(size_t j, size_t lo, const std::vector<Edge>& fresh);
+  /// Phase 1 of a rebuild into slot j: empties partitions lo..j-1,
+  /// accounts their departing spanner contributions, merges their edges
+  /// with `fresh` via one parallel sort, installs the Index/partition
+  /// membership — and queues the (expensive) decremental-instance
+  /// construction as a RebuildJob instead of running it inline.
+  void prepare_rebuild(size_t j, size_t lo, std::vector<EdgeKey> fresh,
+                       std::vector<RebuildJob>& jobs);
 
-  void delta_add(EdgeKey e) { ++delta_[e]; }
-  void delta_remove(EdgeKey e) { --delta_[e]; }
   void absorb_diff(const SpannerDiff& d) {
-    for (const Edge& e : d.inserted) delta_add(e.key());
-    for (const Edge& e : d.removed) delta_remove(e.key());
+    for (const Edge& e : d.inserted) delta_.add(e.key());
+    for (const Edge& e : d.removed) delta_.remove(e.key());
   }
 
   size_t n_ = 0;
   FullyDynamicSpannerConfig cfg_;
   uint32_t l0_ = 0;
   std::vector<Partition> parts_;
-  std::unordered_map<EdgeKey, uint32_t> index_;  // alive edge -> partition
-  std::unordered_map<EdgeKey, int32_t> delta_;   // per-batch diff
+  FlatHashMap<EdgeKey, uint32_t> index_;  // alive edge -> partition
+  DiffAccumulator delta_;                 // per-batch diff (DESIGN.md §6.4)
   uint64_t rebuilds_ = 0;
   uint64_t instance_counter_ = 0;  // fresh seeds for rebuilt instances
 };

@@ -24,7 +24,10 @@ inline int num_workers() { return omp_get_max_threads(); }
 inline void set_num_workers(int p) { omp_set_num_threads(p); }
 
 /// parallel_for(lo, hi, f): applies f(i) for all i in [lo, hi).
-/// Runs serially when the trip count is below `grain`.
+/// Runs serially when the trip count is below `grain`. The dynamic chunk
+/// adapts to the trip count (capped at 512) so that loops barely above
+/// their grain — the cluster-cascade buckets, partition rebuild fan-out —
+/// still spread across workers instead of landing in one 512-wide chunk.
 template <typename F>
 void parallel_for(size_t lo, size_t hi, F&& f, size_t grain = kParGrain) {
   if (hi <= lo) return;
@@ -33,7 +36,10 @@ void parallel_for(size_t lo, size_t hi, F&& f, size_t grain = kParGrain) {
     for (size_t i = lo; i < hi; ++i) f(i);
     return;
   }
-#pragma omp parallel for schedule(dynamic, 512)
+  size_t chunk = n / (static_cast<size_t>(num_workers()) * 4);
+  if (chunk < 1) chunk = 1;
+  if (chunk > 512) chunk = 512;
+#pragma omp parallel for schedule(dynamic, chunk)
   for (size_t i = lo; i < hi; ++i) f(i);
 }
 

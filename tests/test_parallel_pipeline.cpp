@@ -1,0 +1,225 @@
+// Tests for the parallel batch-update pipeline (DESIGN.md §6): Invariant B1
+// under adversarial insert/delete interleavings, thread-count determinism
+// of SpannerDiff, and the (2k-1)-stretch guarantee over a long mixed
+// update stream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "core/fully_dynamic_spanner.hpp"
+#include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/rng.hpp"
+#include "verify/spanner_check.hpp"
+
+namespace parspan {
+namespace {
+
+std::vector<Edge> keyed(std::vector<Edge> es) {
+  std::sort(es.begin(), es.end());
+  return es;
+}
+
+// --- Invariant B1 under adversarial interleavings. -----------------------
+// The stream is crafted against the Bentley-Saxe chunking: insertion bursts
+// sized exactly at partition capacities (so chunks land on slot
+// boundaries), deletions aimed at freshly rebuilt partitions (draining
+// them below capacity), and immediate re-insertion of just-deleted edges.
+TEST(ParallelPipeline, InvariantB1AdversarialInterleavings) {
+  const size_t n = 48;
+  const uint32_t k = 2;
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = k;
+  cfg.seed = 99;
+  FullyDynamicSpanner sp(n, {}, cfg);
+  ASSERT_TRUE(sp.check_invariants());
+
+  // All edges of K_n, shuffled deterministically.
+  std::vector<Edge> universe;
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) universe.emplace_back(u, v);
+  Rng rng(7);
+  for (size_t i = universe.size(); i > 1; --i)
+    std::swap(universe[i - 1], universe[rng.next_below(i)]);
+
+  // Phase 1: insert in bursts matched to capacities 2^{l0}, 2^{l0+1}, ...
+  // plus off-by-one sizes to stress the remainder path.
+  std::vector<size_t> bursts = {1, 128, 127, 129, 256, 255, 64, 63, 65};
+  size_t pos = 0;
+  std::vector<Edge> live;
+  for (size_t b : bursts) {
+    std::vector<Edge> ins;
+    for (size_t i = 0; i < b && pos < universe.size(); ++i)
+      ins.push_back(universe[pos++]);
+    live.insert(live.end(), ins.begin(), ins.end());
+    sp.insert_edges(ins);
+    ASSERT_TRUE(sp.check_invariants()) << "after burst of " << b;
+  }
+
+  // Phase 2: alternate deleting a prefix of the live set and re-inserting
+  // half of it in the same batch, repeatedly hitting the same partitions.
+  for (int round = 0; round < 10; ++round) {
+    size_t del_count = std::min<size_t>(live.size(), 96 + size_t(round));
+    std::vector<Edge> del(live.begin(), live.begin() + del_count);
+    std::vector<Edge> reins(del.begin(), del.begin() + del_count / 2);
+    sp.update(reins, del);
+    live.erase(live.begin() + del_count / 2, live.begin() + del_count);
+    ASSERT_TRUE(sp.check_invariants()) << "round " << round;
+    ASSERT_EQ(sp.num_edges(), live.size());
+    ASSERT_TRUE(is_spanner(n, live, sp.spanner_edges(), 2 * k - 1));
+    // Rotate so later rounds target different edges.
+    std::rotate(live.begin(), live.begin() + live.size() / 3, live.end());
+  }
+}
+
+// --- Pending-slot absorption within one batch. ----------------------------
+// A batch whose chunk decomposition fills a slot and then, for a smaller
+// chunk, scans past it to a higher slot absorbs a partition whose rebuild
+// job is still pending (filled edges, no installed instance yet). The job
+// must be cancelled and its edges merged without phantom diff removals.
+// Regression test: the pipeline's phased rebuild once took the E_0-style
+// branch here and emitted thousands of "removed" entries for edges that
+// were never in the spanner.
+TEST(ParallelPipeline, PendingSlotAbsorbedByLargerMerge) {
+  const size_t n = 1024;
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 8;  // l0 = 12: capacity(0) = 4096, capacity(1) = 8192, ...
+  cfg.seed = 13;
+  auto initial = gen_erdos_renyi(n, 5000, 1);  // lands in slot 1
+  FullyDynamicSpanner sp(n, initial, cfg);
+  ASSERT_TRUE(sp.check_invariants());
+
+  std::unordered_set<EdgeKey> have;
+  for (const Edge& e : initial) have.insert(e.key());
+  std::unordered_set<EdgeKey> mat;
+  for (const Edge& e : sp.spanner_edges()) mat.insert(e.key());
+
+  // capacity(2) + capacity(1) fresh edges: chunk i=2 fills slot 2 (job
+  // pending), chunk i=1 scans past slots 1 and 2 into slot 3, absorbing
+  // the pending slot 2.
+  std::vector<Edge> fresh;
+  Rng rng(4242);
+  while (fresh.size() < 16384 + 8192) {
+    VertexId u = VertexId(rng.next_below(n));
+    VertexId v = VertexId(rng.next_below(n));
+    if (u == v || have.count(edge_key(u, v))) continue;
+    fresh.emplace_back(u, v);
+    have.insert(edge_key(u, v));
+  }
+  SpannerDiff diff = sp.insert_edges(fresh);
+  EXPECT_TRUE(sp.check_invariants());
+  EXPECT_EQ(sp.num_edges(), have.size());
+  // The diff must transform the old spanner set into the new one exactly.
+  for (const Edge& e : diff.removed) {
+    ASSERT_TRUE(mat.count(e.key())) << "phantom removal";
+    mat.erase(e.key());
+  }
+  for (const Edge& e : diff.inserted) {
+    ASSERT_TRUE(!mat.count(e.key()));
+    mat.insert(e.key());
+  }
+  std::unordered_set<EdgeKey> now;
+  for (const Edge& e : sp.spanner_edges()) now.insert(e.key());
+  EXPECT_EQ(mat, now);
+}
+
+// --- SpannerDiff determinism across thread counts. ------------------------
+// The same construction + update stream must produce byte-identical diffs
+// whether the pipeline runs on 1 worker or 4 (DESIGN.md §6's contract).
+TEST(ParallelPipeline, SpannerDiffDeterministicAcrossThreadCounts) {
+  const size_t n = 300;
+  const uint32_t k = 3;
+  auto [initial, batches] = gen_mixed_stream(n, 6000, 200, 25, 17);
+  // Insertion bursts big enough to force partition rebuilds (and their
+  // parallel merge sorts) mid-stream.
+  auto extra = gen_erdos_renyi(n, 3000, 23);
+  batches.push_back(UpdateBatch{extra, {}});
+  batches.push_back(UpdateBatch{{}, extra});
+
+  int saved = num_workers();
+  std::vector<SpannerDiff> base;
+  std::vector<std::vector<Edge>> base_spanner;
+  {
+    set_num_workers(1);
+    FullyDynamicSpannerConfig cfg;
+    cfg.k = k;
+    cfg.seed = 5;
+    FullyDynamicSpanner sp(n, initial, cfg);
+    for (auto& b : batches) {
+      base.push_back(sp.update(b.insertions, b.deletions));
+      base_spanner.push_back(keyed(sp.spanner_edges()));
+    }
+  }
+  {
+    set_num_workers(4);
+    FullyDynamicSpannerConfig cfg;
+    cfg.k = k;
+    cfg.seed = 5;
+    FullyDynamicSpanner sp(n, initial, cfg);
+    for (size_t i = 0; i < batches.size(); ++i) {
+      SpannerDiff d = sp.update(batches[i].insertions, batches[i].deletions);
+      ASSERT_EQ(d.inserted.size(), base[i].inserted.size()) << "batch " << i;
+      ASSERT_EQ(d.removed.size(), base[i].removed.size()) << "batch " << i;
+      for (size_t j = 0; j < d.inserted.size(); ++j)
+        ASSERT_EQ(d.inserted[j].key(), base[i].inserted[j].key())
+            << "batch " << i << " entry " << j;
+      for (size_t j = 0; j < d.removed.size(); ++j)
+        ASSERT_EQ(d.removed[j].key(), base[i].removed[j].key())
+            << "batch " << i << " entry " << j;
+      ASSERT_EQ(keyed(sp.spanner_edges()), base_spanner[i]) << "batch " << i;
+    }
+  }
+  set_num_workers(saved);
+}
+
+// --- Diff output is sorted by canonical key. ------------------------------
+TEST(ParallelPipeline, DiffSidesSortedByKey) {
+  const size_t n = 120;
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 3;
+  cfg.seed = 2;
+  auto edges = gen_erdos_renyi(n, 1500, 3);
+  FullyDynamicSpanner sp(n, edges, cfg);
+  auto stream = gen_decremental_stream(edges, 200, 9);
+  for (auto& b : stream) {
+    SpannerDiff d = sp.update(b.insertions, b.deletions);
+    ASSERT_TRUE(std::is_sorted(d.inserted.begin(), d.inserted.end()));
+    ASSERT_TRUE(std::is_sorted(d.removed.begin(), d.removed.end()));
+  }
+  EXPECT_EQ(sp.num_edges(), 0u);
+}
+
+// --- Stretch after 100 mixed batches. -------------------------------------
+// End-to-end: the maintained edge set stays a (2k-1)-spanner of the live
+// graph through a long adversary-independent mixed stream.
+TEST(ParallelPipeline, StretchHoldsAfter100MixedBatches) {
+  const size_t n = 200;
+  const uint32_t k = 3;
+  auto [initial, batches] = gen_mixed_stream(n, 2400, 40, 100, 31);
+  ASSERT_EQ(batches.size(), 100u);
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = k;
+  cfg.seed = 77;
+  FullyDynamicSpanner sp(n, initial, cfg);
+
+  std::unordered_set<EdgeKey> live;
+  for (const Edge& e : initial) live.insert(e.key());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    sp.update(batches[i].insertions, batches[i].deletions);
+    for (const Edge& e : batches[i].deletions) live.erase(e.key());
+    for (const Edge& e : batches[i].insertions) live.insert(e.key());
+    if (i % 10 == 9 || i + 1 == batches.size()) {
+      std::vector<Edge> alive;
+      for (EdgeKey ek : live) alive.push_back(edge_from_key(ek));
+      ASSERT_TRUE(is_spanner(n, alive, sp.spanner_edges(), 2 * k - 1))
+          << "batch " << i;
+      ASSERT_TRUE(sp.check_invariants()) << "batch " << i;
+    }
+  }
+  ASSERT_EQ(live.size(), sp.num_edges());
+}
+
+}  // namespace
+}  // namespace parspan

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (CI docs gate).
+
+Scans every tracked *.md file for inline links/images `[text](target)` and
+reference definitions `[label]: target`, and fails if a repo-relative
+target does not exist. External links (scheme://, mailto:) are ignored;
+pure in-page anchors (#...) are checked against the target file's headings.
+
+Usage: tools/check_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)|"
+                     r"\!\[[^\]]*\]\(([^)\s]+)\)")
+REF_DEF_RE = re.compile(r"^\s{0,3}\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_DIRS = {".git", "build", ".claude"}
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", text.strip())
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for f in filenames:
+            if f.endswith(".md"):
+                yield os.path.join(dirpath, f)
+
+
+def check(root: str) -> int:
+    errors = []
+    anchors_cache = {}
+
+    def anchors(path):
+        if path not in anchors_cache:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            anchors_cache[path] = {anchor_of(h) for h in HEADING_RE.findall(text)}
+        return anchors_cache[path]
+
+    for md in md_files(root):
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        rel_md = os.path.relpath(md, root)
+        targets = [m.group(1) or m.group(2) for m in LINK_RE.finditer(text)]
+        targets += REF_DEF_RE.findall(text)
+        for target in targets:
+            if not target or "://" in target or target.startswith("mailto:"):
+                continue
+            target, _, frag = target.partition("#")
+            if not target:  # in-page anchor
+                if frag and anchor_of(frag) not in anchors(md) \
+                        and frag not in anchors(md):
+                    errors.append(f"{rel_md}: broken in-page anchor '#{frag}'")
+                continue
+            dest = os.path.normpath(os.path.join(os.path.dirname(md), target))
+            if not os.path.exists(dest):
+                errors.append(f"{rel_md}: broken link '{target}'")
+                continue
+            if frag and dest.endswith(".md"):
+                if anchor_of(frag) not in anchors(dest) \
+                        and frag not in anchors(dest):
+                    errors.append(
+                        f"{rel_md}: broken anchor '{target}#{frag}'")
+
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if not errors:
+        count = len(list(md_files(root)))
+        print(f"ok: no broken intra-repo links across {count} markdown files")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else "."))
