@@ -45,6 +45,40 @@ BENCHMARK(BM_BundleDecremental)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// Batch-deletion throughput of the monotone O(log n)-spanner (Lemma 6.4 /
+// Theorem 1.5's workhorse): O(log n) independent forest-mode instances per
+// deletion batch. This is the extensions-layer analogue of
+// BM_SpannerUpdates and enters BENCH_extensions.json.
+void BM_MonotoneDecremental(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  size_t batch = size_t(state.range(1));
+  auto edges = gen_erdos_renyi(n, 8 * n, 13);
+  double recourse = 0, deleted = 0, instances = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MonotoneSpannerConfig cfg;
+    cfg.seed = 21;
+    MonotoneSpanner sp(n, edges, cfg);
+    instances = double(sp.num_instances());
+    auto stream = gen_decremental_stream(edges, batch, 5);
+    recourse = deleted = 0;
+    state.ResumeTiming();
+    for (auto& bb : stream) {
+      auto d = sp.delete_edges(bb.deletions);
+      recourse += double(d.inserted.size() + d.removed.size());
+      deleted += double(bb.deletions.size());
+    }
+  }
+  state.counters["recourse_per_del"] = recourse / deleted;
+  state.counters["instances"] = instances;
+  state.SetItemsProcessed(int64_t(deleted) * int64_t(state.iterations()));
+}
+
+BENCHMARK(BM_MonotoneDecremental)
+    ->ArgsProduct({{1024, 4096}, {256}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 }  // namespace
 }  // namespace parspan
 

@@ -65,6 +65,7 @@ void BM_SparsifierUpdates(benchmark::State& state) {
 BENCHMARK(BM_SparsifierUpdates)
     ->Arg(256)
     ->Arg(512)
+    ->Arg(1024)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

@@ -63,6 +63,7 @@ void BM_UltraUpdates(benchmark::State& state) {
 BENCHMARK(BM_UltraUpdates)
     ->Arg(512)
     ->Arg(1024)
+    ->Arg(4096)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

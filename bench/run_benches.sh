@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Runs the perf-gating Google Benchmark binaries and records JSON results at
 # the repo root, seeding the perf trajectory tracked across PRs:
-#   BENCH_spanner.json    — spanner construction + churn + update throughput
-#   BENCH_primitives.json — scan / sort / pack substrate microbenchmarks
+#   BENCH_spanner.json     — spanner construction + churn + update throughput
+#   BENCH_primitives.json  — scan / sort / pack substrate microbenchmarks
+#   BENCH_extensions.json  — Theorems 1.4-1.6 (ultra / bundle / sparsifier)
+#                            size + batch-update throughput
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -58,3 +60,22 @@ merge "$tmpdir/bench_primitives.tmp.json" \
       "$tmpdir/bench_containers.tmp.json" \
   >"$repo_root/BENCH_primitives.json"
 echo "wrote $repo_root/BENCH_primitives.json"
+
+echo "== extension benches (Theorems 1.4-1.6) =="
+"$build_dir/bench_ultra_sparse" \
+  --benchmark_format=json \
+  --benchmark_filter='BM_UltraUpdates' \
+  >"$tmpdir/bench_ultra_sparse.tmp.json"
+"$build_dir/bench_bundle" \
+  --benchmark_format=json \
+  --benchmark_filter='BM_MonotoneDecremental' \
+  >"$tmpdir/bench_bundle.tmp.json"
+"$build_dir/bench_sparsifier" \
+  --benchmark_format=json \
+  --benchmark_filter='BM_SparsifierUpdates' \
+  >"$tmpdir/bench_sparsifier.tmp.json"
+merge "$tmpdir/bench_ultra_sparse.tmp.json" \
+      "$tmpdir/bench_bundle.tmp.json" \
+      "$tmpdir/bench_sparsifier.tmp.json" \
+  >"$repo_root/BENCH_extensions.json"
+echo "wrote $repo_root/BENCH_extensions.json"

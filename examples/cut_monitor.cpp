@@ -3,6 +3,7 @@
 // Theorem 1.6. A monitoring system can answer "how much capacity crosses
 // this partition?" from the sparsifier instead of the full graph.
 #include <cstdio>
+#include <unordered_set>
 
 #include "core/sparsifier.hpp"
 #include "graph/generators.hpp"

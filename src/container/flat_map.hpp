@@ -16,6 +16,7 @@
 // concurrent tables of concurrent_map.hpp.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -152,6 +153,18 @@ class FlatHashMap {
       if (s.key != kEmptyKey) fn(s.key, s.value);
   }
 
+  /// All keys, sorted ascending. Materialization APIs built on flat tables
+  /// use this so their output is a function of the key *set*, never of the
+  /// table's probe-layout history (DESIGN.md §7 determinism contract).
+  std::vector<K> sorted_keys() const {
+    std::vector<K> out;
+    out.reserve(size_);
+    for (const Slot& s : slots_)
+      if (s.key != kEmptyKey) out.push_back(s.key);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
  private:
   struct Slot {
     K key = kEmptyKey;
@@ -224,6 +237,9 @@ class FlatHashSet {
   void for_each(Fn&& fn) const {
     map_.for_each([&](K k, const detail::Empty&) { fn(k); });
   }
+
+  /// All elements, sorted ascending (see FlatHashMap::sorted_keys).
+  std::vector<K> sorted_keys() const { return map_.sorted_keys(); }
 
  private:
   FlatHashMap<K, detail::Empty> map_;

@@ -1,0 +1,35 @@
+// RepBucket: a tiny member list with a designated representative — the
+// value type of the NextLevelEdges tables (Lemma 4.1 / Theorem 1.4).
+//
+// Members are a small unordered vector with swap-pop erase: bucket sizes
+// are degree-bounded and average a couple of entries, where a linear scan
+// beats any hash structure and teardown is one vector free (the
+// InterCluster trade-off of DESIGN.md §6.4). The representative is always
+// assigned by the owner when the bucket gains its first member; after a
+// represented member is erased, the owner re-elects `members[0]` — all
+// bucket operations run in serial deterministic phases (DESIGN.md §7), so
+// the election is reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace parspan {
+
+template <typename Id>
+struct RepBucket {
+  std::vector<Id> members;
+  Id rep{};
+
+  /// Removes m (must be present); returns true if the bucket emptied.
+  bool erase_member(Id m) {
+    auto it = std::find(members.begin(), members.end(), m);
+    assert(it != members.end());
+    *it = members.back();
+    members.pop_back();
+    return members.empty();
+  }
+};
+
+}  // namespace parspan

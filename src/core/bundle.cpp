@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "parallel/csr.hpp"
 #include "util/rng.hpp"
 
 namespace parspan {
@@ -9,13 +10,17 @@ namespace parspan {
 SpannerBundle::SpannerBundle(size_t n, const std::vector<Edge>& edges,
                              const BundleConfig& cfg)
     : n_(n), cfg_(cfg) {
-  for (const Edge& e : edges)
-    if (e.u != e.v && e.u < n && e.v < n) alive_.insert(e.key());
+  // Canonicalize once; the level-0 universe is the deduplicated edge set.
+  std::vector<EdgeKey> keys = canonical_edge_keys(n, edges);
+  alive_.reserve(keys.size());
+  for (EdgeKey ek : keys) alive_.insert(ek);
 
-  // Build levels: D_i over G minus the previous levels' H sets.
+  // Build levels: D_i over G minus the previous levels' H sets. The chain
+  // is serial in i (level i+1's graph is level i's residual); each level's
+  // MonotoneSpanner parallelizes over its own instances.
   std::vector<Edge> remaining;
-  remaining.reserve(alive_.size());
-  for (EdgeKey ek : alive_) remaining.push_back(edge_from_key(ek));
+  remaining.reserve(keys.size());
+  for (EdgeKey ek : keys) remaining.push_back(edge_from_key(ek));
   levels_.reserve(cfg.t);
   for (uint32_t i = 0; i < cfg.t; ++i) {
     Level lvl;
@@ -24,16 +29,16 @@ SpannerBundle::SpannerBundle(size_t n, const std::vector<Edge>& edges,
     mc.beta = cfg.beta;
     mc.instances = cfg.instances;
     lvl.spanner = std::make_unique<MonotoneSpanner>(n, remaining, mc);
-    std::vector<Edge> next;
-    std::unordered_set<EdgeKey> in_h;
+    FlatHashSet<EdgeKey> in_h;
     for (const Edge& e : lvl.spanner->spanner_edges()) {
       in_h.insert(e.key());
-      auto inserted = contrib_.emplace(e.key(), i).second;
-      assert(inserted);
-      (void)inserted;
+      assert(!contrib_.contains(e.key()));
+      contrib_[e.key()] = i;
     }
+    std::vector<Edge> next;
+    next.reserve(remaining.size() - in_h.size());
     for (const Edge& e : remaining)
-      if (!in_h.count(e.key())) next.push_back(e);
+      if (!in_h.contains(e.key())) next.push_back(e);
     levels_.push_back(std::move(lvl));
     remaining = std::move(next);
     if (remaining.empty()) break;
@@ -41,39 +46,42 @@ SpannerBundle::SpannerBundle(size_t n, const std::vector<Edge>& edges,
 }
 
 std::vector<Edge> SpannerBundle::bundle_edges() const {
+  std::vector<EdgeKey> keys = contrib_.sorted_keys();
   std::vector<Edge> out;
-  out.reserve(contrib_.size());
-  for (auto& [ek, lvl] : contrib_) out.push_back(edge_from_key(ek));
+  out.reserve(keys.size());
+  for (EdgeKey ek : keys) out.push_back(edge_from_key(ek));
   return out;
 }
 
 std::vector<Edge> SpannerBundle::level_edges(size_t i) const {
   std::vector<Edge> out = levels_[i].spanner->spanner_edges();
-  for (EdgeKey ek : levels_[i].retained) out.push_back(edge_from_key(ek));
+  for (EdgeKey ek : levels_[i].retained.sorted_keys())
+    out.push_back(edge_from_key(ek));
   return out;
 }
 
 std::vector<Edge> SpannerBundle::residual_edges() const {
   std::vector<Edge> out;
-  for (EdgeKey ek : alive_)
-    if (!contrib_.count(ek)) out.push_back(edge_from_key(ek));
+  for (EdgeKey ek : alive_.sorted_keys())
+    if (!contrib_.contains(ek)) out.push_back(edge_from_key(ek));
   return out;
 }
 
 SpannerDiff SpannerBundle::delete_edges(const std::vector<Edge>& batch) {
   // Deduplicate & filter to alive edges.
   std::vector<Edge> global;
-  std::unordered_set<EdgeKey> global_set;
+  FlatHashSet<EdgeKey> global_set;
   for (const Edge& e : batch) {
-    if (!alive_.count(e.key()) || global_set.count(e.key())) continue;
+    if (!alive_.contains(e.key()) || global_set.contains(e.key())) continue;
     global_set.insert(e.key());
     global.push_back(e);
     alive_.erase(e.key());
   }
 
-  std::unordered_map<EdgeKey, int32_t> delta;
+  assert(delta_.empty());
   std::vector<Edge> down = global;  // deletions to apply at this level
-  std::unordered_set<EdgeKey> down_set = global_set;
+  FlatHashSet<EdgeKey> down_set;
+  for (const Edge& e : global) down_set.insert(e.key());
   for (size_t i = 0; i < levels_.size(); ++i) {
     Level& lvl = levels_[i];
     SpannerDiff d = lvl.spanner->delete_edges(down);
@@ -81,16 +89,16 @@ SpannerDiff SpannerBundle::delete_edges(const std::vector<Edge>& batch) {
     // level, so they are appended to the accumulating `down` list.
     std::vector<Edge> absorbed;
     for (const Edge& e : d.removed) {
-      if (global_set.count(e.key())) {
+      if (global_set.contains(e.key())) {
         // Globally deleted: leaves H_i for good.
-        assert(contrib_.count(e.key()));
+        assert(contrib_.contains(e.key()));
         contrib_.erase(e.key());
-        --delta[e.key()];
-      } else if (down_set.count(e.key())) {
+        delta_.remove(e.key());
+      } else if (down_set.contains(e.key())) {
         // Removed because an earlier level absorbed it this batch; its
         // contrib entry already points to that level. Not retained here.
-        assert(contrib_.count(e.key()) &&
-               contrib_.at(e.key()) < uint32_t(i));
+        assert(contrib_.contains(e.key()) &&
+               *contrib_.find(e.key()) < uint32_t(i));
       } else {
         // Still alive: retained in J_i, stays in the bundle.
         lvl.retained.insert(e.key());
@@ -102,15 +110,15 @@ SpannerDiff SpannerBundle::delete_edges(const std::vector<Edge>& batch) {
         // and it is already absent downstream.
         continue;
       }
-      auto it = contrib_.find(e.key());
-      if (it != contrib_.end()) {
+      uint32_t* it = contrib_.find(e.key());
+      if (it != nullptr) {
         // Currently held by a *deeper* level (it was alive in D_i all
         // along): move it up to level i and evict it downstream.
-        assert(it->second > uint32_t(i));
-        it->second = uint32_t(i);
+        assert(*it > uint32_t(i));
+        *it = uint32_t(i);
       } else {
-        contrib_.emplace(e.key(), uint32_t(i));
-        ++delta[e.key()];
+        contrib_[e.key()] = uint32_t(i);
+        delta_.add(e.key());
       }
       absorbed.push_back(e);  // must leave G_{i+1}, ..., and deeper H's
     }
@@ -118,13 +126,13 @@ SpannerDiff SpannerBundle::delete_edges(const std::vector<Edge>& batch) {
     // ones leave the bundle; upstream-absorbed ones were remapped already.
     for (const Edge& e : down) {
       if (lvl.retained.erase(e.key())) {
-        if (global_set.count(e.key())) {
-          assert(contrib_.count(e.key()));
+        if (global_set.contains(e.key())) {
+          assert(contrib_.contains(e.key()));
           contrib_.erase(e.key());
-          --delta[e.key()];
+          delta_.remove(e.key());
         } else {
-          assert(contrib_.count(e.key()) &&
-                 contrib_.at(e.key()) < uint32_t(i));
+          assert(contrib_.contains(e.key()) &&
+                 *contrib_.find(e.key()) < uint32_t(i));
         }
       }
     }
@@ -134,39 +142,38 @@ SpannerDiff SpannerBundle::delete_edges(const std::vector<Edge>& batch) {
     }
   }
 
-  SpannerDiff diff;
-  for (auto& [ek, d] : delta) {
-    assert(d >= -1 && d <= 1);
-    if (d > 0) diff.inserted.push_back(edge_from_key(ek));
-    if (d < 0) diff.removed.push_back(edge_from_key(ek));
-  }
+  SpannerDiff diff = delta_.drain();
   cumulative_recourse_ += diff.inserted.size() + diff.removed.size();
   return diff;
 }
 
 bool SpannerBundle::check_invariants() const {
   // Per-level invariants and bundle refcount consistency.
-  std::unordered_map<EdgeKey, uint32_t> expect;
+  FlatHashMap<EdgeKey, uint32_t> expect;
   for (size_t i = 0; i < levels_.size(); ++i) {
     const Level& lvl = levels_[i];
     if (!lvl.spanner->check_invariants()) return false;
     for (const Edge& e : lvl.spanner->spanner_edges()) {
-      if (lvl.retained.count(e.key())) return false;  // J ∩ spanner = ∅
-      if (!expect.emplace(e.key(), uint32_t(i)).second)
-        return false;  // levels must be disjoint
+      if (lvl.retained.contains(e.key())) return false;  // J ∩ spanner = ∅
+      if (expect.contains(e.key())) return false;  // levels must be disjoint
+      expect[e.key()] = uint32_t(i);
     }
-    for (EdgeKey ek : lvl.retained) {
-      if (!alive_.count(ek)) return false;  // J contains only alive edges
-      if (!expect.emplace(ek, uint32_t(i)).second) return false;
-    }
+    bool ok = true;
+    lvl.retained.for_each([&](EdgeKey ek) {
+      if (!alive_.contains(ek)) ok = false;  // J contains only alive edges
+      if (expect.contains(ek)) ok = false;
+      expect[ek] = uint32_t(i);
+    });
+    if (!ok) return false;
   }
   if (expect.size() != contrib_.size()) return false;
-  for (auto& [ek, lvl] : expect) {
-    auto it = contrib_.find(ek);
-    if (it == contrib_.end() || it->second != lvl) return false;
-    if (!alive_.count(ek)) return false;  // bundle ⊆ alive
-  }
-  return true;
+  bool ok = true;
+  expect.for_each([&](EdgeKey ek, uint32_t lvl) {
+    const uint32_t* it = contrib_.find(ek);
+    if (it == nullptr || *it != lvl) ok = false;
+    if (!alive_.contains(ek)) ok = false;  // bundle ⊆ alive
+  });
+  return ok;
 }
 
 }  // namespace parspan

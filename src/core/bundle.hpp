@@ -11,15 +11,18 @@
 //
 // A deletion batch flows down the chain: edges newly *entering* H_i
 // (δH_ins of D_i) are deletions for level i+1; edges leaving D_i's spanner
-// while alive move into J_i and generate no downstream work.
+// while alive move into J_i and generate no downstream work. The chain is
+// inherently serial in i, but each level's MonotoneSpanner fans its own
+// instances out in parallel (DESIGN.md §7.1), and the per-batch diff is
+// compiled through the flat touched-key accumulator, key-sorted on drain
+// (DESIGN.md §7.4).
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "container/flat_map.hpp"
 #include "core/mpx_spanner.hpp"
 #include "util/types.hpp"
 
@@ -42,17 +45,18 @@ class SpannerBundle {
   size_t num_vertices() const { return n_; }
   size_t bundle_size() const { return contrib_.size(); }
   std::vector<Edge> bundle_edges() const;
-  bool in_bundle(Edge e) const { return contrib_.count(e.key()) > 0; }
+  bool in_bundle(Edge e) const { return contrib_.contains(e.key()); }
   uint32_t levels() const { return uint32_t(levels_.size()); }
 
   /// Edges of G not claimed by any level (the residue G \ B). The spectral
-  /// sparsifier samples its next stage from this set.
+  /// sparsifier samples its next stage from this set. Sorted by key.
   std::vector<Edge> residual_edges() const;
   bool in_residual(Edge e) const {
-    return alive_.count(e.key()) > 0 && !in_bundle(e);
+    return alive_.contains(e.key()) && !in_bundle(e);
   }
 
-  /// Deletes a batch of (graph) edges; returns the net bundle diff.
+  /// Deletes a batch of (graph) edges; returns the net bundle diff (both
+  /// sides sorted by canonical key).
   SpannerDiff delete_edges(const std::vector<Edge>& batch);
 
   /// Cumulative |δ| emitted (Theorem 1.5: O(1) amortized per deletion).
@@ -73,14 +77,15 @@ class SpannerBundle {
  private:
   struct Level {
     std::unique_ptr<MonotoneSpanner> spanner;  // D_i
-    std::unordered_set<EdgeKey> retained;      // J_i
+    FlatHashSet<EdgeKey> retained;             // J_i
   };
 
   size_t n_ = 0;
   BundleConfig cfg_;
   std::vector<Level> levels_;
-  std::unordered_set<EdgeKey> alive_;            // alive graph edges
-  std::unordered_map<EdgeKey, uint32_t> contrib_;  // level refcounts (all 1)
+  FlatHashSet<EdgeKey> alive_;               // alive graph edges
+  FlatHashMap<EdgeKey, uint32_t> contrib_;   // owning level per bundle edge
+  DiffAccumulator delta_;                    // per-batch net diff
   uint64_t cumulative_recourse_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "parallel/primitives.hpp"
 #include "util/rng.hpp"
 
 namespace parspan {
@@ -34,10 +35,10 @@ ContractionLayer::ContractionLayer(size_t n, const std::vector<Edge>& edges,
 
   // Insert edges, then compute heads, then attach contributions: init is
   // just an update() on an empty structure, but done in bulk.
-  std::vector<Edge> dedup;
+  edge_index_.reserve(edges.size());
   for (const Edge& e : edges) {
     if (e.u == e.v || e.u >= n || e.v >= n) continue;
-    if (edge_index_.count(e.key())) continue;
+    if (edge_index_.contains(e.key())) continue;
     edge_index_[e.key()] = uint32_t(edges_.size());
     EdgeRec rec;
     rec.e = e;
@@ -57,7 +58,7 @@ ContractionLayer::ContractionLayer(size_t n, const std::vector<Edge>& edges,
     head_edge_[v] = edge_key(v, head_[v]);
     h_add(head_edge_[v]);
   }
-  h_delta_.clear();
+  h_delta_.reset();
   touched_pairs_.clear();
 }
 
@@ -89,45 +90,42 @@ EdgeKey ContractionLayer::pair_key_of(uint32_t eid) const {
 }
 
 void ContractionLayer::note_pair_touched(EdgeKey pk) {
-  if (touched_pairs_.count(pk)) return;
-  auto it = buckets_.find(pk);
+  if (touched_pairs_.contains(pk)) return;
+  Bucket* b = buckets_.find(pk);
   touched_pairs_[pk] =
-      PairSnapshot{it != buckets_.end(),
-                   it != buckets_.end() ? it->second.rep : uint32_t(0)};
+      PairSnapshot{b != nullptr, b != nullptr ? b->rep : uint32_t(0)};
 }
 
 void ContractionLayer::bucket_add(uint32_t eid) {
   EdgeKey pk = pair_key_of(eid);
   if (pk == kNoEdge) return;
   note_pair_touched(pk);
-  auto [it, fresh] = buckets_.try_emplace(pk);
-  it->second.members.insert(eid);
-  if (fresh) it->second.rep = eid;
+  Bucket& b = buckets_[pk];
+  if (b.members.empty()) b.rep = eid;
+  b.members.push_back(eid);
 }
 
 void ContractionLayer::bucket_remove(uint32_t eid, EdgeKey pk) {
   if (pk == kNoEdge) return;
   note_pair_touched(pk);
-  auto it = buckets_.find(pk);
-  assert(it != buckets_.end());
-  it->second.members.erase(eid);
-  if (it->second.members.empty()) {
-    buckets_.erase(it);
-  } else if (it->second.rep == eid) {
-    it->second.rep = *it->second.members.begin();
-  }
+  Bucket* b = buckets_.find(pk);
+  assert(b != nullptr);
+  if (b->erase_member(eid))
+    buckets_.erase(pk);
+  else if (b->rep == eid)
+    b->rep = b->members[0];
 }
 
 void ContractionLayer::h_add(EdgeKey ek) {
-  if (++h_contrib_[ek] == 1) ++h_delta_[ek];
+  if (++h_contrib_[ek] == 1) h_delta_.add(ek);
 }
 
 void ContractionLayer::h_remove(EdgeKey ek) {
-  auto it = h_contrib_.find(ek);
-  assert(it != h_contrib_.end());
-  if (--it->second == 0) {
-    h_contrib_.erase(it);
-    --h_delta_[ek];
+  uint32_t* it = h_contrib_.find(ek);
+  assert(it != nullptr);
+  if (--*it == 0) {
+    h_contrib_.erase(ek);
+    h_delta_.remove(ek);
   }
 }
 
@@ -160,7 +158,6 @@ void ContractionLayer::recheck_head(VertexId v) {
     }
     return;
   }
-  VertexId old = head_[v];
   // Move every incident edge: bot membership and bucket key both depend on
   // Head(v). Remove under the old head, flip, re-add under the new head.
   std::vector<uint32_t> incident;
@@ -181,15 +178,16 @@ void ContractionLayer::recheck_head(VertexId v) {
 
 ContractionLayer::UpdateResult ContractionLayer::update(
     const std::vector<Edge>& ins, const std::vector<Edge>& del) {
-  h_delta_.clear();
+  assert(h_delta_.empty());
   touched_pairs_.clear();
-  std::unordered_set<VertexId> recheck;
+  std::vector<VertexId> recheck;
+  recheck.reserve(2 * (ins.size() + del.size()));
 
   // --- Deletions. ---
   for (const Edge& e : del) {
-    auto it = edge_index_.find(e.key());
-    if (it == edge_index_.end() || !edges_[it->second].alive) continue;
-    uint32_t eid = it->second;
+    const uint32_t* it = edge_index_.find(e.key());
+    if (it == nullptr || !edges_[*it].alive) continue;
+    uint32_t eid = *it;
     EdgeRec& r = edges_[eid];
     detach(eid);
     adj_[r.e.u].erase(r.key_u);
@@ -205,17 +203,17 @@ ContractionLayer::UpdateResult ContractionLayer::update(
         h_remove(head_edge_[w]);
         head_edge_[w] = kNoEdge;
       }
-      recheck.insert(w);
+      recheck.push_back(w);
     }
   }
   // --- Insertions. ---
   for (const Edge& e : ins) {
     if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
-    auto it = edge_index_.find(e.key());
+    const uint32_t* it = edge_index_.find(e.key());
     uint32_t eid;
-    if (it != edge_index_.end()) {
-      if (edges_[it->second].alive) continue;  // already present
-      eid = it->second;  // resurrect dead record with fresh entries
+    if (it != nullptr) {
+      if (edges_[*it].alive) continue;  // already present
+      eid = *it;  // resurrect dead record with fresh entries
     } else {
       eid = uint32_t(edges_.size());
       edge_index_[e.key()] = eid;
@@ -230,31 +228,26 @@ ContractionLayer::UpdateResult ContractionLayer::update(
     adj_[e.u].insert(r.key_u, {e.v, eid});
     adj_[e.v].insert(r.key_v, {e.u, eid});
     attach(eid);
-    recheck.insert(e.u);
-    recheck.insert(e.v);
+    recheck.push_back(e.u);
+    recheck.push_back(e.v);
   }
-  // --- Head rechecks (the D4/I4/I5 procedures). ---
+  // --- Head rechecks (the D4/I4/I5 procedures), in ascending vertex order
+  // so every bucket-representative election is deterministic. ---
+  sort_unique(recheck);
   for (VertexId v : recheck) recheck_head(v);
-  // Refresh head-edge contributions for rechecked vertices whose head
-  // stayed put but whose head edge was the deleted one... (handled above:
-  // recheck_head re-adds when the head changed; if the head did NOT change
-  // but its contribution was removed because the head edge died, the head
-  // must in fact have changed — the min entry was the head edge — so this
-  // case is impossible; assert below in check_invariants.)
 
-  // --- Compile diffs. ---
+  // --- Compile diffs, key-sorted (DESIGN.md §7.4). ---
   UpdateResult res;
-  for (auto& [ek, d] : h_delta_) {
-    assert(d >= -1 && d <= 1);
-    if (d > 0) res.h_ins.push_back(edge_from_key(ek));
-    if (d < 0) res.h_del.push_back(edge_from_key(ek));
-  }
-  for (auto& [pk, snap] : touched_pairs_) {
-    auto it = buckets_.find(pk);
-    bool exists = it != buckets_.end();
+  SpannerDiff hd = h_delta_.drain();
+  res.h_ins = std::move(hd.inserted);
+  res.h_del = std::move(hd.removed);
+  for (EdgeKey pk : touched_pairs_.sorted_keys()) {
+    const PairSnapshot& snap = *touched_pairs_.find(pk);
+    Bucket* b = buckets_.find(pk);
+    bool exists = b != nullptr;
     if (snap.existed && !exists) res.next_del.push_back(edge_from_key(pk));
     if (!snap.existed && exists) res.next_ins.push_back(edge_from_key(pk));
-    if (snap.existed && exists && snap.old_rep != it->second.rep)
+    if (snap.existed && exists && snap.old_rep != b->rep)
       res.rep_changed.push_back(edge_from_key(pk));
   }
   return res;
@@ -263,20 +256,20 @@ ContractionLayer::UpdateResult ContractionLayer::update(
 std::vector<Edge> ContractionLayer::next_edges() const {
   std::vector<Edge> out;
   out.reserve(buckets_.size());
-  for (auto& [pk, b] : buckets_) out.push_back(edge_from_key(pk));
+  for (EdgeKey pk : buckets_.sorted_keys()) out.push_back(edge_from_key(pk));
   return out;
 }
 
 Edge ContractionLayer::rep(Edge pair) const {
-  auto it = buckets_.find(pair.key());
-  assert(it != buckets_.end());
-  return edges_[it->second.rep].e;
+  const Bucket* b = buckets_.find(pair.key());
+  assert(b != nullptr);
+  return edges_[b->rep].e;
 }
 
 std::vector<Edge> ContractionLayer::h_edges() const {
   std::vector<Edge> out;
   out.reserve(h_contrib_.size());
-  for (auto& [ek, c] : h_contrib_) out.push_back(edge_from_key(ek));
+  for (EdgeKey ek : h_contrib_.sorted_keys()) out.push_back(edge_from_key(ek));
   return out;
 }
 
@@ -289,12 +282,12 @@ bool ContractionLayer::check_invariants() const {
     if (h != head_[v]) return false;
   }
   // Recompute buckets and H from scratch.
-  std::unordered_map<EdgeKey, std::unordered_set<uint32_t>> ref_buckets;
-  std::unordered_map<EdgeKey, uint32_t> ref_h;
+  FlatHashMap<EdgeKey, std::vector<uint32_t>> ref_buckets;
+  FlatHashMap<EdgeKey, uint32_t> ref_h;
   for (uint32_t eid = 0; eid < edges_.size(); ++eid) {
     if (!edges_[eid].alive) continue;
     EdgeKey pk = pair_key_of(eid);
-    if (pk != kNoEdge) ref_buckets[pk].insert(eid);
+    if (pk != kNoEdge) ref_buckets[pk].push_back(eid);
     if (edge_in_bot(eid)) ++ref_h[edges_[eid].e.key()];
   }
   for (VertexId v = 0; v < n_; ++v) {
@@ -306,18 +299,27 @@ bool ContractionLayer::check_invariants() const {
     ++ref_h[head_edge_[v]];
   }
   if (ref_buckets.size() != buckets_.size()) return false;
-  for (auto& [pk, members] : ref_buckets) {
-    auto it = buckets_.find(pk);
-    if (it == buckets_.end()) return false;
-    if (it->second.members != members) return false;
-    if (!members.count(it->second.rep)) return false;
-  }
+  bool ok = true;
+  ref_buckets.for_each([&](EdgeKey pk, std::vector<uint32_t>& members) {
+    const Bucket* b = buckets_.find(pk);
+    if (b == nullptr) {
+      ok = false;
+      return;
+    }
+    std::vector<uint32_t> have = b->members;
+    std::sort(members.begin(), members.end());
+    std::sort(have.begin(), have.end());
+    if (have != members) ok = false;
+    if (std::find(have.begin(), have.end(), b->rep) == have.end())
+      ok = false;
+  });
+  if (!ok) return false;
   if (ref_h.size() != h_contrib_.size()) return false;
-  for (auto& [ek, c] : ref_h) {
-    auto it = h_contrib_.find(ek);
-    if (it == h_contrib_.end() || it->second != c) return false;
-  }
-  return true;
+  ref_h.for_each([&](EdgeKey ek, uint32_t c) {
+    const uint32_t* it = h_contrib_.find(ek);
+    if (it == nullptr || *it != c) ok = false;
+  });
+  return ok;
 }
 
 }  // namespace parspan

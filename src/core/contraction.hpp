@@ -22,14 +22,21 @@
 //                    (Head(u), Head(v)), with Bwd/FwdCorrespondence as the
 //                    designated representative per pair;
 //   * next_ins/next_del — the update stream for the next layer.
+//
+// All dictionaries are flat open-addressing tables (DESIGN.md §1); the
+// per-batch UpdateResult lists are key-sorted, so the layer's output is a
+// deterministic function of its inputs (DESIGN.md §7.4).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "container/counted_treap.hpp"
+#include "container/flat_map.hpp"
+#include "container/rep_bucket.hpp"
+#include "core/cluster_spanner.hpp"  // DiffAccumulator
 #include "util/types.hpp"
 
 namespace parspan {
@@ -91,10 +98,9 @@ class ContractionLayer {
     uint64_t key_v = 0;  // entry key in Adj(e.v)
     bool alive = false;
   };
-  struct Bucket {
-    std::unordered_set<uint32_t> members;  // edge ids
-    uint32_t rep = 0;                      // designated edge id
-  };
+  /// NextLevelEdges bucket of edge ids (container/rep_bucket.hpp; the rep
+  /// is assigned with the first member).
+  using Bucket = RepBucket<uint32_t>;
 
   uint64_t fresh_entry_key(VertexId other);
   VertexId compute_head(VertexId v);
@@ -132,20 +138,20 @@ class ContractionLayer {
   std::vector<CountedTreap<AdjEntry>> adj_;
 
   std::vector<EdgeRec> edges_;
-  std::unordered_map<EdgeKey, uint32_t> edge_index_;
+  FlatHashMap<EdgeKey, uint32_t> edge_index_;
   size_t alive_count_ = 0;
 
-  std::unordered_map<EdgeKey, Bucket> buckets_;        // NextLevelEdges
-  std::unordered_map<EdgeKey, uint32_t> h_contrib_;    // H refcounts
+  FlatHashMap<EdgeKey, Bucket> buckets_;       // NextLevelEdges
+  FlatHashMap<EdgeKey, uint32_t> h_contrib_;   // H refcounts
   std::vector<EdgeKey> head_edge_;  // per-vertex (v, Head(v)) contribution
 
-  // Batch-scoped diff accumulation.
-  std::unordered_map<EdgeKey, int32_t> h_delta_;
+  // Batch-scoped diff accumulation (drained key-sorted — DESIGN.md §6.4).
+  DiffAccumulator h_delta_;
   struct PairSnapshot {
-    bool existed;
-    uint32_t old_rep;
+    bool existed = false;
+    uint32_t old_rep = 0;
   };
-  std::unordered_map<EdgeKey, PairSnapshot> touched_pairs_;
+  FlatHashMap<EdgeKey, PairSnapshot> touched_pairs_;
 };
 
 }  // namespace parspan

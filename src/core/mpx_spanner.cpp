@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "parallel/parallel_for.hpp"
 #include "util/rng.hpp"
 
 namespace parspan {
@@ -18,18 +19,26 @@ MonotoneSpanner::MonotoneSpanner(size_t n, const std::vector<Edge>& edges,
   // exceeded with probability <= n^{-9} (paper §6.2).
   double cap =
       10.0 * std::log(double(std::max<size_t>(n, 2))) / cfg.beta + 1.0;
-  inst_.reserve(count);
+  // Per-instance seeds are fixed up front, so each build job is a pure
+  // function of (seed, edges) and the fan-out below is schedule-independent.
+  inst_.resize(count);
+  parallel_for(
+      0, count,
+      [&](size_t i) {
+        ClusterSpannerConfig c;
+        c.k = 1;  // unused: beta and cap are explicit
+        c.beta = cfg.beta;
+        c.delta_cap = cap;
+        c.intercluster = false;
+        c.seed = hash_combine(cfg.seed, i);
+        inst_[i] = std::make_unique<DecrementalClusterSpanner>(n, edges, c);
+      },
+      1);
+  // Serial merge in instance order: contrib_ refcounts and the stretch
+  // witness are independent of the build schedule.
   for (uint32_t i = 0; i < count; ++i) {
-    ClusterSpannerConfig c;
-    c.k = 1;  // unused: beta and cap are explicit
-    c.beta = cfg.beta;
-    c.delta_cap = cap;
-    c.intercluster = false;
-    c.seed = hash_combine(cfg.seed, i);
-    inst_.push_back(std::make_unique<DecrementalClusterSpanner>(n, edges, c));
-    stretch_bound_ =
-        std::max(stretch_bound_, 2 * (inst_.back()->t() - 1) + 1);
-    for (const Edge& e : inst_.back()->spanner_edges()) ++contrib_[e.key()];
+    stretch_bound_ = std::max(stretch_bound_, 2 * (inst_[i]->t() - 1));
+    for (const Edge& e : inst_[i]->spanner_edges()) ++contrib_[e.key()];
   }
 }
 
@@ -38,49 +47,53 @@ size_t MonotoneSpanner::alive_edges() const {
 }
 
 std::vector<Edge> MonotoneSpanner::spanner_edges() const {
+  std::vector<EdgeKey> keys = contrib_.sorted_keys();
   std::vector<Edge> out;
-  out.reserve(contrib_.size());
-  for (auto& [ek, c] : contrib_) out.push_back(edge_from_key(ek));
+  out.reserve(keys.size());
+  for (EdgeKey ek : keys) out.push_back(edge_from_key(ek));
   return out;
 }
 
 SpannerDiff MonotoneSpanner::delete_edges(const std::vector<Edge>& batch) {
-  std::unordered_map<EdgeKey, int32_t> delta;
-  for (auto& inst : inst_) {
-    SpannerDiff d = inst->delete_edges(batch);
+  // Phase 1 (parallel): the O(log n) instances are fully independent
+  // (DESIGN.md §7.1) — each applies the batch and reports its own net diff.
+  // Instance diffs are themselves deterministic (Lemma 3.3's contract).
+  std::vector<SpannerDiff> diffs(inst_.size());
+  parallel_for(
+      0, inst_.size(),
+      [&](size_t i) { diffs[i] = inst_[i]->delete_edges(batch); }, 1);
+  // Phase 2 (serial, instance order): merge refcounts into the flat
+  // touched-key accumulator. The drain sorts both sides by canonical key.
+  assert(delta_.empty());
+  for (const SpannerDiff& d : diffs) {
     cumulative_recourse_ += d.inserted.size() + d.removed.size();
     for (const Edge& e : d.inserted)
-      if (++contrib_[e.key()] == 1) ++delta[e.key()];
+      if (++contrib_[e.key()] == 1) delta_.add(e.key());
     for (const Edge& e : d.removed) {
-      auto it = contrib_.find(e.key());
-      assert(it != contrib_.end());
-      if (--it->second == 0) {
-        contrib_.erase(it);
-        --delta[e.key()];
+      uint32_t* c = contrib_.find(e.key());
+      assert(c != nullptr);
+      if (--*c == 0) {
+        contrib_.erase(e.key());
+        delta_.remove(e.key());
       }
     }
   }
-  SpannerDiff diff;
-  for (auto& [ek, d] : delta) {
-    assert(d >= -1 && d <= 1);
-    if (d > 0) diff.inserted.push_back(edge_from_key(ek));
-    if (d < 0) diff.removed.push_back(edge_from_key(ek));
-  }
-  return diff;
+  return delta_.drain();
 }
 
 bool MonotoneSpanner::check_invariants() const {
-  std::unordered_map<EdgeKey, uint32_t> expect;
+  FlatHashMap<EdgeKey, uint32_t> expect;
   for (auto& inst : inst_) {
     if (!inst->check_invariants()) return false;
     for (const Edge& e : inst->spanner_edges()) ++expect[e.key()];
   }
   if (expect.size() != contrib_.size()) return false;
-  for (auto& [ek, c] : expect) {
-    auto it = contrib_.find(ek);
-    if (it == contrib_.end() || it->second != c) return false;
-  }
-  return true;
+  bool ok = true;
+  expect.for_each([&](EdgeKey ek, uint32_t c) {
+    const uint32_t* it = contrib_.find(ek);
+    if (it == nullptr || *it != c) ok = false;
+  });
+  return ok;
 }
 
 }  // namespace parspan

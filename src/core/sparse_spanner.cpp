@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "parallel/csr.hpp"
 #include "util/rng.hpp"
 
 namespace parspan {
@@ -34,14 +35,12 @@ SparseSpanner::SparseSpanner(size_t n, const std::vector<Edge>& edges,
     xs = contraction_schedule(
         std::max(4.0, std::log2(double(std::max<size_t>(n, 2)))));
 
-  // Deduplicate input edges.
+  // Deduplicate input edges (canonical key order).
   std::vector<Edge> cur;
   {
-    std::unordered_set<EdgeKey> seen;
-    for (const Edge& e : edges) {
-      if (e.u == e.v || e.u >= n || e.v >= n) continue;
-      if (seen.insert(e.key()).second) cur.push_back(e);
-    }
+    std::vector<EdgeKey> keys = canonical_edge_keys(n, edges);
+    cur.reserve(keys.size());
+    for (EdgeKey ek : keys) cur.push_back(edge_from_key(ek));
   }
   num_edges_ = cur.size();
 
@@ -73,10 +72,10 @@ SparseSpanner::SparseSpanner(size_t n, const std::vector<Edge>& edges,
   stretch_bound_ = 2 * k - 1;
   for (size_t i = L; i-- > 0;) {
     for (const Edge& e : layers_[i]->h_edges()) s_mem_[i].insert(e.key());
-    for (EdgeKey pk : s_mem_[i + 1]) {
+    for (EdgeKey pk : s_mem_[i + 1].sorted_keys()) {
       Edge r = layers_[i]->rep(edge_from_key(pk));
       used_rep_[i][pk] = r.key();
-      bool fresh = s_mem_[i].insert(r.key()).second;
+      bool fresh = s_mem_[i].insert(r.key());
       assert(fresh && "H and representatives must be disjoint");
       (void)fresh;
     }
@@ -87,7 +86,7 @@ SparseSpanner::SparseSpanner(size_t n, const std::vector<Edge>& edges,
 std::vector<Edge> SparseSpanner::spanner_edges() const {
   std::vector<Edge> out;
   out.reserve(s_mem_[0].size());
-  for (EdgeKey ek : s_mem_[0]) out.push_back(edge_from_key(ek));
+  for (EdgeKey ek : s_mem_[0].sorted_keys()) out.push_back(edge_from_key(ek));
   return out;
 }
 
@@ -116,37 +115,37 @@ SpannerDiff SparseSpanner::update(const std::vector<Edge>& insertions,
   for (const Edge& e : top_diff.removed) s_mem_[L].erase(e.key());
 
   for (size_t i = L; i-- > 0;) {
-    std::unordered_map<EdgeKey, int32_t> delta;
+    DiffAccumulator delta;
     auto s_add = [&](EdgeKey ek) {
-      bool fresh = s_mem_[i].insert(ek).second;
+      bool fresh = s_mem_[i].insert(ek);
       assert(fresh && "S_i components must stay disjoint");
       (void)fresh;
-      ++delta[ek];
+      delta.add(ek);
     };
     auto s_remove = [&](EdgeKey ek) {
-      size_t erased = s_mem_[i].erase(ek);
-      assert(erased == 1);
+      bool erased = s_mem_[i].erase(ek);
+      assert(erased);
       (void)erased;
-      --delta[ek];
+      delta.remove(ek);
     };
     // All removals first (an edge may switch roles between H member and
     // pair representative within one batch; removals-then-additions keeps
     // S_i a true set throughout).
     for (const Edge& e : results[i].h_del) s_remove(e.key());
     for (const Edge& p : down.removed) {
-      auto it = used_rep_[i].find(p.key());
-      assert(it != used_rep_[i].end());
-      s_remove(it->second);
-      used_rep_[i].erase(it);
+      EdgeKey* it = used_rep_[i].find(p.key());
+      assert(it != nullptr);
+      s_remove(*it);
+      used_rep_[i].erase(p.key());
     }
     std::vector<EdgeKey> pending_rep;  // surviving pairs with a stale rep
     for (const Edge& p : results[i].rep_changed) {
-      auto it = used_rep_[i].find(p.key());
-      if (it == used_rep_[i].end()) continue;  // pair not in S_{i+1}
+      EdgeKey* it = used_rep_[i].find(p.key());
+      if (it == nullptr) continue;  // pair not in S_{i+1}
       Edge r = layers_[i]->rep(p);
-      if (it->second == r.key()) continue;
-      s_remove(it->second);
-      used_rep_[i].erase(it);
+      if (*it == r.key()) continue;
+      s_remove(*it);
+      used_rep_[i].erase(p.key());
       pending_rep.push_back(p.key());
     }
     // Additions.
@@ -161,14 +160,8 @@ SpannerDiff SparseSpanner::update(const std::vector<Edge>& insertions,
       used_rep_[i][pk] = r.key();
       s_add(r.key());
     }
-    // Compile this layer's diff for the next level down.
-    SpannerDiff mine;
-    for (auto& [ek, d] : delta) {
-      assert(d >= -1 && d <= 1);
-      if (d > 0) mine.inserted.push_back(edge_from_key(ek));
-      if (d < 0) mine.removed.push_back(edge_from_key(ek));
-    }
-    down = std::move(mine);
+    // Compile this layer's (key-sorted) diff for the next level down.
+    down = delta.drain();
   }
   return down;
 }
@@ -178,26 +171,40 @@ bool SparseSpanner::check_invariants() const {
   for (const auto& layer : layers_)
     if (!layer->check_invariants()) return false;
   if (!top_->check_invariants()) return false;
+  auto equals = [](const FlatHashSet<EdgeKey>& ref,
+                   const FlatHashSet<EdgeKey>& have) {
+    if (ref.size() != have.size()) return false;
+    bool ok = true;
+    ref.for_each([&](EdgeKey ek) {
+      if (!have.contains(ek)) ok = false;
+    });
+    return ok;
+  };
   // S_L must equal the top spanner.
   {
-    std::unordered_set<EdgeKey> ref;
+    FlatHashSet<EdgeKey> ref;
     for (const Edge& e : top_->spanner_edges()) ref.insert(e.key());
-    if (ref != s_mem_[L]) return false;
+    if (!equals(ref, s_mem_[L])) return false;
   }
   // S_i must equal H_i ∪ rep(S_{i+1}), with used_rep_ holding the actual
   // representatives (which must be current).
   for (size_t i = L; i-- > 0;) {
-    std::unordered_set<EdgeKey> ref;
+    FlatHashSet<EdgeKey> ref;
     for (const Edge& e : layers_[i]->h_edges()) ref.insert(e.key());
     if (used_rep_[i].size() != s_mem_[i + 1].size()) return false;
-    for (EdgeKey pk : s_mem_[i + 1]) {
-      auto it = used_rep_[i].find(pk);
-      if (it == used_rep_[i].end()) return false;
+    bool ok = true;
+    s_mem_[i + 1].for_each([&](EdgeKey pk) {
+      const EdgeKey* it = used_rep_[i].find(pk);
+      if (it == nullptr) {
+        ok = false;
+        return;
+      }
       Edge r = layers_[i]->rep(edge_from_key(pk));
-      if (r.key() != it->second) return false;
-      if (!ref.insert(r.key()).second) return false;
-    }
-    if (ref != s_mem_[i]) return false;
+      if (r.key() != *it) ok = false;
+      else if (!ref.insert(r.key())) ok = false;
+    });
+    if (!ok) return false;
+    if (!equals(ref, s_mem_[i])) return false;
   }
   return true;
 }

@@ -17,10 +17,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "container/flat_map.hpp"
 #include "core/contraction.hpp"
 #include "core/fully_dynamic_spanner.hpp"
 #include "util/types.hpp"
@@ -49,9 +48,10 @@ class SparseSpanner {
   size_t num_edges() const { return num_edges_; }
   size_t spanner_size() const { return s_mem_[0].size(); }
   std::vector<Edge> spanner_edges() const;
-  bool in_spanner(Edge e) const { return s_mem_[0].count(e.key()) > 0; }
+  bool in_spanner(Edge e) const { return s_mem_[0].contains(e.key()); }
 
-  /// Applies one batch (deletions then insertions); returns the net diff.
+  /// Applies one batch (deletions then insertions); returns the net diff,
+  /// both sides sorted by canonical key (DESIGN.md §7.4).
   SpannerDiff update(const std::vector<Edge>& insertions,
                      const std::vector<Edge>& deletions);
   SpannerDiff insert_edges(const std::vector<Edge>& ins) {
@@ -78,10 +78,10 @@ class SparseSpanner {
 
   /// s_mem_[i] = S_i (layer-i local edge keys), i in [0, L]; s_mem_[L] is
   /// the top spanner (top-graph edge keys).
-  std::vector<std::unordered_set<EdgeKey>> s_mem_;
+  std::vector<FlatHashSet<EdgeKey>> s_mem_;
   /// used_rep_[i]: contracted pair (layer-(i+1) key) -> the layer-i edge
   /// key currently standing in for it inside S_i.
-  std::vector<std::unordered_map<EdgeKey, EdgeKey>> used_rep_;
+  std::vector<FlatHashMap<EdgeKey, EdgeKey>> used_rep_;
 };
 
 }  // namespace parspan

@@ -4,34 +4,68 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
-#include <map>
 
+#include "parallel/csr.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
 #include "util/rng.hpp"
 
 namespace parspan {
 
 namespace {
 
-/// Nets raw weighted-diff events by (edge, weight) pair.
-WeightedDiff net_weighted(
-    const std::vector<std::pair<WeightedEdge, int>>& events) {
-  std::map<std::pair<EdgeKey, uint64_t>, int> acc;
-  for (const auto& [we, sgn] : events) {
-    uint64_t wbits;
-    std::memcpy(&wbits, &we.w, sizeof(wbits));
-    acc[{we.e.key(), wbits}] += sgn;
-  }
+/// One signed weighted-diff event, weight packed as raw bits so events sort
+/// and net as plain integers.
+struct WEvent {
+  EdgeKey key;
+  uint64_t wbits;
+  int32_t sgn;
+};
+
+/// Packs an event, normalizing the weight first: -0.0 is folded into +0.0
+/// (they compare equal but differ in bit pattern, so keying raw bits would
+/// split one weight class into two and a cancel-out could emit both an
+/// insert and a remove for the same edge), and NaN weights are rejected —
+/// NaN != NaN would make the weight class unmatchable forever.
+WEvent wevent(Edge e, double w, int32_t sgn) {
+  assert(!std::isnan(w) && "sparsifier weights must be numbers");
+  if (w == 0.0) w = 0.0;  // +0.0 and -0.0 share a class
+  uint64_t wbits;
+  std::memcpy(&wbits, &w, sizeof(wbits));
+  return WEvent{e.key(), wbits, sgn};
+}
+
+/// Nets raw weighted-diff events by (edge, weight) class: one parallel sort
+/// over the packed tuples, then a run scan (DESIGN.md §7.3). Output sides
+/// are (key, weight-bits)-sorted; all stage weights are positive, so bit
+/// order is numeric order.
+WeightedDiff net_weighted(std::vector<WEvent>& events) {
+  parallel_sort(events, [](const WEvent& a, const WEvent& b) {
+    return a.key != b.key ? a.key < b.key : a.wbits < b.wbits;
+  });
   WeightedDiff out;
-  for (const auto& [kw, c] : acc) {
-    if (c == 0) continue;
-    double w;
-    std::memcpy(&w, &kw.second, sizeof(w));
-    WeightedEdge we{edge_from_key(kw.first), w};
-    assert(c == 1 || c == -1);
-    if (c > 0) out.inserted.push_back(we);
-    else out.removed.push_back(we);
+  for (size_t i = 0; i < events.size();) {
+    size_t j = i;
+    int32_t c = 0;
+    while (j < events.size() && events[j].key == events[i].key &&
+           events[j].wbits == events[i].wbits)
+      c += events[j++].sgn;
+    if (c != 0) {
+      assert(c == 1 || c == -1);
+      double w;
+      std::memcpy(&w, &events[i].wbits, sizeof(w));
+      WeightedEdge we{edge_from_key(events[i].key), w};
+      if (c > 0) out.inserted.push_back(we);
+      else out.removed.push_back(we);
+    }
+    i = j;
   }
   return out;
+}
+
+void emit(std::vector<WEvent>& events, const SpannerDiff& d, double w) {
+  for (const Edge& e : d.removed) events.push_back(wevent(e, w, -1));
+  for (const Edge& e : d.inserted) events.push_back(wevent(e, w, +1));
 }
 
 }  // namespace
@@ -50,12 +84,12 @@ DecrementalSparsifier::DecrementalSparsifier(size_t n,
     size_t m = std::max<size_t>(edges.size(), 2);
     max_stages = uint32_t(std::ceil(std::log2(double(m)))) + 1;
   }
+  std::vector<EdgeKey> keys = canonical_edge_keys(n, edges);
   std::vector<Edge> cur;
-  std::unordered_set<EdgeKey> seen;
-  for (const Edge& e : edges) {
-    if (e.u == e.v || e.u >= n || e.v >= n) continue;
-    if (seen.insert(e.key()).second) cur.push_back(e);
-  }
+  cur.reserve(keys.size());
+  for (EdgeKey ek : keys) cur.push_back(edge_from_key(ek));
+  // The chain is serial by definition (stage j+1 samples stage j's
+  // residual); each stage's bundle parallelizes internally.
   for (uint32_t j = 0; j < max_stages; ++j) {
     if (cur.size() <= cfg.min_stage_edges) break;
     BundleConfig bc;
@@ -69,6 +103,7 @@ DecrementalSparsifier::DecrementalSparsifier(size_t n,
       if (coin(e.key(), j)) next.push_back(e);
     cur = std::move(next);
   }
+  final_.reserve(cur.size());
   for (const Edge& e : cur) final_.insert(e.key());
 }
 
@@ -101,31 +136,78 @@ std::vector<WeightedEdge> DecrementalSparsifier::sparsifier_edges() const {
     for (const Edge& e : stages_[j]->bundle_edges()) out.push_back({e, w});
   }
   double wf = stage_weight(uint32_t(stages_.size()));
-  for (EdgeKey ek : final_) out.push_back({edge_from_key(ek), wf});
+  for (EdgeKey ek : final_.sorted_keys())
+    out.push_back({edge_from_key(ek), wf});
   return out;
 }
 
 WeightedDiff DecrementalSparsifier::delete_edges(
     const std::vector<Edge>& batch) {
-  std::vector<std::pair<WeightedEdge, int>> events;
-  std::vector<Edge> del = batch;
-  for (uint32_t j = 0; j < stages_.size(); ++j) {
-    SpannerDiff d = stages_[j]->delete_edges(del);
-    double w = stage_weight(j);
-    for (const Edge& e : d.removed) events.push_back({{e, w}, -1});
-    for (const Edge& e : d.inserted) events.push_back({{e, w}, +1});
-    // Propagate: deletions that survive the coin, plus edges newly absorbed
-    // into B_j (they leave G_{j+1} and beyond).
-    std::vector<Edge> next;
-    for (const Edge& e : del)
-      if (coin(e.key(), j)) next.push_back(e);
-    for (const Edge& e : d.inserted)
-      if (coin(e.key(), j)) next.push_back(e);
-    del = std::move(next);
+  size_t K = stages_.size();
+  std::vector<WEvent> events;
+
+  // The two-round scheme below runs at every worker count, including one.
+  // It is NOT interchangeable with the classic one-call-per-stage serial
+  // chain: a bundle's J-retention makes its state depend on batch
+  // *boundaries*, not just on the accumulated deletion set — an edge
+  // transiently absorbed into B_j between the rounds is retained in J_j
+  // forever, where the single-call chain would never have absorbed it.
+  // Both evolutions satisfy every bundle/stage invariant, but they differ,
+  // so the determinism contract (output independent of worker count)
+  // requires one fixed decomposition; the rounds themselves are
+  // schedule-independent because the stages are disjoint structures and
+  // the cascade is serial.
+
+  // glob[j]: batch edges surviving coins 0..j-1 — stage j's share of the
+  // *global* deletions, computable up front.
+  std::vector<std::vector<Edge>> glob(K + 1);
+  glob[0] = batch;
+  for (size_t j = 0; j < K; ++j) {
+    glob[j + 1].reserve(glob[j].size() / 3);
+    for (const Edge& e : glob[j])
+      if (coin(e.key(), uint32_t(j))) glob[j + 1].push_back(e);
   }
-  double wf = stage_weight(uint32_t(stages_.size()));
-  for (const Edge& e : del)
-    if (final_.erase(e.key())) events.push_back({{e, wf}, -1});
+
+  // Round 1 (parallel): the stages are independent structures, and their
+  // global-deletion slices are known up front, so the expensive bundle
+  // deletes fan out across stages (DESIGN.md §7.3).
+  std::vector<SpannerDiff> d1(K);
+  parallel_for(
+      0, K, [&](size_t j) { d1[j] = stages_[j]->delete_edges(glob[j]); }, 1);
+
+  // Round 2 (serial cascade): edges newly absorbed into B_j leave stage
+  // j+1 and beyond. Each stage sees at most one cascade batch: the edges
+  // absorbed at *any* earlier stage that survive the coin chain down to
+  // it — the carry itself must keep propagating through each stage's coin
+  // exactly like the serial `del` list, not just the freshly absorbed
+  // edges (an edge absorbed at stage i and merely *deleted* at stage i+1
+  // still has to leave stage i+2 if it passes coin i+1).
+  std::vector<Edge> carry;  // absorbed upstream, coin-filtered to stage j
+  for (size_t j = 0; j < K; ++j) {
+    double w = stage_weight(uint32_t(j));
+    emit(events, d1[j], w);
+    SpannerDiff d2;
+    if (!carry.empty()) {
+      d2 = stages_[j]->delete_edges(carry);
+      emit(events, d2, w);
+    }
+    std::vector<Edge> next;
+    for (const Edge& e : carry)
+      if (coin(e.key(), uint32_t(j))) next.push_back(e);
+    for (const Edge& e : d1[j].inserted)
+      if (coin(e.key(), uint32_t(j))) next.push_back(e);
+    for (const Edge& e : d2.inserted)
+      if (coin(e.key(), uint32_t(j))) next.push_back(e);
+    carry = std::move(next);
+  }
+
+  // Final residue G_K: global deletions surviving every coin, plus the
+  // last stage's absorption fallout.
+  double wf = stage_weight(uint32_t(K));
+  for (const Edge& e : glob[K])
+    if (final_.erase(e.key())) events.push_back(wevent(e, wf, -1));
+  for (const Edge& e : carry)
+    if (final_.erase(e.key())) events.push_back(wevent(e, wf, -1));
   return net_weighted(events);
 }
 
@@ -134,28 +216,30 @@ bool DecrementalSparsifier::check_invariants() const {
     if (!b->check_invariants()) return false;
   // Stage universes nest: stage j+1 alive ⊆ stage j residual ∩ coin_j.
   for (size_t j = 0; j + 1 < stages_.size(); ++j) {
-    std::unordered_set<EdgeKey> resid;
+    FlatHashSet<EdgeKey> resid;
     for (const Edge& e : stages_[j]->residual_edges())
       resid.insert(e.key());
-    std::unordered_set<EdgeKey> deeper;
+    std::vector<EdgeKey> deeper;
     for (const Edge& e : stages_[j + 1]->bundle_edges())
-      deeper.insert(e.key());
+      deeper.push_back(e.key());
     for (const Edge& e : stages_[j + 1]->residual_edges())
-      deeper.insert(e.key());
+      deeper.push_back(e.key());
     for (EdgeKey ek : deeper) {
-      if (!resid.count(ek)) return false;
+      if (!resid.contains(ek)) return false;
       if (!coin(ek, uint32_t(j))) return false;
     }
   }
   if (!stages_.empty()) {
     size_t last = stages_.size() - 1;
-    std::unordered_set<EdgeKey> resid;
+    FlatHashSet<EdgeKey> resid;
     for (const Edge& e : stages_[last]->residual_edges())
       resid.insert(e.key());
-    for (EdgeKey ek : final_) {
-      if (!resid.count(ek)) return false;
-      if (!coin(ek, uint32_t(last))) return false;
-    }
+    bool ok = true;
+    final_.for_each([&](EdgeKey ek) {
+      if (!resid.contains(ek)) ok = false;
+      if (!coin(ek, uint32_t(last))) ok = false;
+    });
+    if (!ok) return false;
   }
   return true;
 }
@@ -174,7 +258,7 @@ FullyDynamicSparsifier::FullyDynamicSparsifier(
   std::vector<Edge> edges;
   for (const Edge& e : initial) {
     if (e.u == e.v || e.u >= n || e.v >= n) continue;
-    if (index_.count(e.key())) continue;
+    if (index_.contains(e.key())) continue;
     index_[e.key()] = 0;
     edges.push_back(e);
   }
@@ -211,7 +295,7 @@ std::vector<WeightedEdge> FullyDynamicSparsifier::sparsifier_edges() const {
   std::vector<WeightedEdge> out;
   for (size_t i = 0; i < parts_.size(); ++i) {
     if (i == 0 || !parts_[i].sp) {
-      for (EdgeKey ek : parts_[i].edges)
+      for (EdgeKey ek : parts_[i].edges.sorted_keys())
         out.push_back({edge_from_key(ek), 1.0});
     } else {
       auto h = parts_[i].sp->sparsifier_edges();
@@ -233,14 +317,14 @@ void FullyDynamicSparsifier::rebuild_into(size_t j, size_t lo,
       p.sp.reset();
       continue;
     }
+    std::vector<EdgeKey> keys = p.edges.sorted_keys();
     if (i == 0 || !p.sp) {
-      for (EdgeKey ek : p.edges)
-        diff.removed.push_back({edge_from_key(ek), 1.0});
+      for (EdgeKey ek : keys) diff.removed.push_back({edge_from_key(ek), 1.0});
     } else {
       auto h = p.sp->sparsifier_edges();
       diff.removed.insert(diff.removed.end(), h.begin(), h.end());
     }
-    for (EdgeKey ek : p.edges) merged.push_back(edge_from_key(ek));
+    for (EdgeKey ek : keys) merged.push_back(edge_from_key(ek));
     p.edges.clear();
     p.sp.reset();
   }
@@ -262,37 +346,45 @@ void FullyDynamicSparsifier::rebuild_into(size_t j, size_t lo,
 
 WeightedDiff FullyDynamicSparsifier::update(
     const std::vector<Edge>& insertions, const std::vector<Edge>& deletions) {
-  std::vector<std::pair<WeightedEdge, int>> events;
   WeightedDiff work;
 
-  // Deletions routed through Index.
+  // Deletions routed through Index (serial), then applied per partition in
+  // parallel — partitions are disjoint structures (§6.1's discipline), and
+  // the per-partition diffs merge serially in partition order.
   std::vector<std::vector<Edge>> per_part(parts_.size());
   for (const Edge& e : deletions) {
-    auto it = index_.find(e.key());
-    if (it == index_.end()) continue;
-    per_part[it->second].push_back(e);
-    index_.erase(it);
+    uint32_t* it = index_.find(e.key());
+    if (it == nullptr) continue;
+    per_part[*it].push_back(e);
+    index_.erase(e.key());
   }
-  for (size_t i = 0; i < per_part.size(); ++i) {
-    if (per_part[i].empty()) continue;
-    Partition& p = parts_[i];
-    for (const Edge& e : per_part[i]) p.edges.erase(e.key());
-    if (i == 0 || !p.sp) {
-      for (const Edge& e : per_part[i]) work.removed.push_back({e, 1.0});
-    } else {
-      WeightedDiff d = p.sp->delete_edges(per_part[i]);
-      work.inserted.insert(work.inserted.end(), d.inserted.begin(),
-                           d.inserted.end());
-      work.removed.insert(work.removed.end(), d.removed.begin(),
-                          d.removed.end());
-    }
+  std::vector<WeightedDiff> pdiffs(parts_.size());
+  parallel_for(
+      0, per_part.size(),
+      [&](size_t i) {
+        if (per_part[i].empty()) return;
+        Partition& p = parts_[i];
+        for (const Edge& e : per_part[i]) p.edges.erase(e.key());
+        if (i == 0 || !p.sp) {
+          for (const Edge& e : per_part[i])
+            pdiffs[i].removed.push_back({e, 1.0});
+        } else {
+          pdiffs[i] = p.sp->delete_edges(per_part[i]);
+        }
+      },
+      1);
+  for (const WeightedDiff& d : pdiffs) {
+    work.inserted.insert(work.inserted.end(), d.inserted.begin(),
+                         d.inserted.end());
+    work.removed.insert(work.removed.end(), d.removed.begin(),
+                        d.removed.end());
   }
 
   // Insertions: Bentley-Saxe merge (as in Theorem 1.1, with B2 capacities).
   std::vector<Edge> u;
   for (const Edge& e : insertions) {
     if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
-    if (index_.count(e.key())) continue;
+    if (index_.contains(e.key())) continue;
     index_[e.key()] = uint32_t(-1);
     u.push_back(e);
   }
@@ -327,8 +419,12 @@ WeightedDiff FullyDynamicSparsifier::update(
     }
   }
 
-  for (const WeightedEdge& we : work.inserted) events.push_back({we, +1});
-  for (const WeightedEdge& we : work.removed) events.push_back({we, -1});
+  std::vector<WEvent> events;
+  events.reserve(work.inserted.size() + work.removed.size());
+  for (const WeightedEdge& we : work.inserted)
+    events.push_back(wevent(we.e, we.w, +1));
+  for (const WeightedEdge& we : work.removed)
+    events.push_back(wevent(we.e, we.w, -1));
   return net_weighted(events);
 }
 
@@ -338,10 +434,12 @@ bool FullyDynamicSparsifier::check_invariants() const {
     const Partition& p = parts_[i];
     if (p.edges.size() > capacity(i)) return false;  // Invariant B2
     total += p.edges.size();
-    for (EdgeKey ek : p.edges) {
-      auto it = index_.find(ek);
-      if (it == index_.end() || it->second != i) return false;
-    }
+    bool ok = true;
+    p.edges.for_each([&](EdgeKey ek) {
+      const uint32_t* it = index_.find(ek);
+      if (it == nullptr || *it != i) ok = false;
+    });
+    if (!ok) return false;
     if (i >= 1 && p.sp) {
       if (!p.sp->check_invariants()) return false;
       if (p.sp->alive_edges() != p.edges.size()) return false;

@@ -12,6 +12,14 @@
 // legitimate under the oblivious adversary, and exactly the "filter only
 // the edges that are sampled in G_{i+1}" propagation of Lemma 6.6.
 //
+// A deletion batch runs in two rounds (DESIGN.md §7.3): the coin-filtered
+// global deletions are independent per stage and fan out under
+// parallel_for; the absorption fallout (edges newly entering B_j leave
+// stage j+1 and beyond) then cascades serially — at most one extra batch
+// per stage. Diff events are netted by one parallel sort over packed
+// (key, weight-bits) tuples, so the returned WeightedDiff is (key, weight)-
+// sorted and independent of the stage schedule.
+//
 // FullyDynamicSparsifier applies the Bentley-Saxe reduction of Theorem 1.6
 // (Invariant B2, Lemma 6.7: unions of (1±ε)-sparsifiers sparsify unions).
 //
@@ -22,16 +30,17 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "container/flat_map.hpp"
 #include "core/bundle.hpp"
 #include "verify/laplacian.hpp"
 
 namespace parspan {
 
-/// Net weighted-edge change of the sparsifier after one batch.
+/// Net weighted-edge change of the sparsifier after one batch. Both sides
+/// are sorted by (canonical edge key, weight bits) — the weighted analogue
+/// of the SpannerDiff determinism contract (DESIGN.md §7.4).
 struct WeightedDiff {
   std::vector<WeightedEdge> inserted;
   std::vector<WeightedEdge> removed;
@@ -76,7 +85,7 @@ class DecrementalSparsifier {
   size_t n_ = 0;
   SparsifierConfig cfg_;
   std::vector<std::unique_ptr<SpannerBundle>> stages_;
-  std::unordered_set<EdgeKey> final_;  // G_K
+  FlatHashSet<EdgeKey> final_;  // G_K
   uint64_t coin_seed_ = 0;
 };
 
@@ -104,7 +113,7 @@ class FullyDynamicSparsifier {
 
  private:
   struct Partition {
-    std::unordered_set<EdgeKey> edges;
+    FlatHashSet<EdgeKey> edges;
     std::unique_ptr<DecrementalSparsifier> sp;  // null for E_0
   };
   size_t capacity(size_t i) const { return size_t{1} << (i + l0_); }
@@ -116,7 +125,7 @@ class FullyDynamicSparsifier {
   FullyDynamicSparsifierConfig cfg_;
   uint32_t l0_ = 0;
   std::vector<Partition> parts_;
-  std::unordered_map<EdgeKey, uint32_t> index_;
+  FlatHashMap<EdgeKey, uint32_t> index_;
   uint64_t instance_counter_ = 0;
 };
 

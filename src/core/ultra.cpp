@@ -3,16 +3,28 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
 
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
 #include "util/rng.hpp"
 
 namespace parspan {
 
+namespace {
+
+/// Per-thread scratch slot for the current OpenMP worker. The pool must be
+/// sized (serially) before any parallel compute phase starts.
+template <typename T>
+T& slot_for_thread(std::vector<T>& pool) {
+  return pool[size_t(omp_get_thread_num()) % pool.size()];
+}
+
+}  // namespace
+
 UltraSparseSpanner::UltraSparseSpanner(size_t n,
                                        const std::vector<Edge>& edges,
                                        const UltraConfig& cfg)
-    : n_(n), cfg_(cfg) {
+    : n_(n), cfg_(cfg), graph_(n) {
   uint32_t x = std::max(2u, cfg.x);
   T_ = uint32_t(
       std::ceil(10.0 * double(x) * std::max(1.0, std::log2(double(x)))));
@@ -27,37 +39,45 @@ UltraSparseSpanner::UltraSparseSpanner(size_t n,
   }
   if (!any && n > 0) sampled_[rng.next_below(n)] = 1;
 
-  adj_.assign(n, {});
-  for (const Edge& e : edges) {
-    if (e.u == e.v || e.u >= n || e.v >= n) continue;
-    if (!alive_.insert(e.key()).second) continue;
-    adj_[e.u].insert(e.v);
-    adj_[e.v].insert(e.u);
-  }
-  alive_count_ = alive_.size();
+  std::vector<Edge> applied = graph_.insert_edges(edges);
 
-  // Heads: heavy/sampled first, then light (Algorithm 5 reads heavy heads).
+  // Heads, two phases (DESIGN.md §7.2): heavy/sampled heads are computed
+  // and written first (they read adjacency only), then the light
+  // Algorithm-5 balls run against them under parallel_for with per-thread
+  // scratch. Writes are per-vertex disjoint, so both phases commit in the
+  // parallel loop itself.
   head_.assign(n, kBot);
   par_edge_.assign(n, kNoEdge);
-  for (VertexId v = 0; v < n; ++v)
-    if (sampled_[v] || heavy(v)) head_[v] = compute_head(v).head;
-  std::vector<HeadResult> light_res(n);
-  for (VertexId v = 0; v < n; ++v)
-    if (!sampled_[v] && !heavy(v)) light_res[v] = compute_head(v);
-  for (VertexId v = 0; v < n; ++v)
-    if (!sampled_[v] && !heavy(v)) head_[v] = light_res[v].head;
+  scratch_.resize(size_t(std::max(1, num_workers())));
+  std::vector<HeadResult> res(n);
+  parallel_for(
+      0, n,
+      [&](size_t v) {
+        if (sampled_[v] || heavy(VertexId(v))) {
+          res[v] = compute_head(VertexId(v), slot_for_thread(scratch_));
+          head_[v] = res[v].head;
+        }
+      },
+      512);
+  parallel_for(
+      0, n,
+      [&](size_t v) {
+        if (!sampled_[v] && !heavy(VertexId(v))) {
+          res[v] = compute_head(VertexId(v), slot_for_thread(scratch_));
+          head_[v] = res[v].head;
+        }
+      },
+      64);
 
-  // H1 parent edges (recompute par for heavy too) + buckets + H2 edges.
+  // H1 parent edges + buckets + H2 edges (serial, canonical edge order).
   h2_ = std::make_unique<SmallComponentForest>(n);
   std::vector<Edge> h2_init;
-  for (EdgeKey ek : alive_) {
-    Edge e = edge_from_key(ek);
+  for (const Edge& e : applied) {
     attach(e);
     if (edge_in_h2(e)) h2_init.push_back(e);
   }
   for (VertexId v = 0; v < n; ++v) {
-    HeadResult hr = (!sampled_[v] && !heavy(v)) ? light_res[v]
-                                                : compute_head(v);
+    const HeadResult& hr = res[v];
     assert(hr.head == head_[v]);
     if (hr.head != kBot && hr.head != v) {
       assert(hr.par != kNoVertex);
@@ -71,21 +91,21 @@ UltraSparseSpanner::UltraSparseSpanner(size_t n,
   nc.seed = hash_combine(cfg.seed, 0x4e7);
   std::vector<Edge> pairs;
   pairs.reserve(buckets_.size());
-  for (auto& [pk, b] : buckets_) pairs.push_back(edge_from_key(pk));
+  for (EdgeKey pk : buckets_.sorted_keys()) pairs.push_back(edge_from_key(pk));
   next_ = std::make_unique<SparseSpanner>(n, pairs, nc);
 
   // Compose S = H1 ∪ forest(H2) ∪ rep(S_next).
   for (VertexId v = 0; v < n; ++v)
     if (par_edge_[v] != kNoEdge) s_mem_.insert(par_edge_[v]);
   for (const Edge& e : h2_->forest_edges()) {
-    bool fresh = s_mem_.insert(e.key()).second;
+    bool fresh = s_mem_.insert(e.key());
     assert(fresh);
     (void)fresh;
   }
   for (const Edge& p : next_->spanner_edges()) {
-    EdgeKey rep = buckets_.at(p.key()).rep;
+    EdgeKey rep = buckets_.find(p.key())->rep;
     used_rep_[p.key()] = rep;
-    bool fresh = s_mem_.insert(rep).second;
+    bool fresh = s_mem_.insert(rep);
     assert(fresh);
     (void)fresh;
   }
@@ -100,7 +120,7 @@ uint32_t UltraSparseSpanner::stretch_bound() const {
 }
 
 UltraSparseSpanner::HeadResult UltraSparseSpanner::compute_head(
-    VertexId v) const {
+    VertexId v, HeadScratch& hs) const {
   HeadResult hr;
   if (sampled_[v]) {
     hr.head = v;
@@ -109,7 +129,7 @@ UltraSparseSpanner::HeadResult UltraSparseSpanner::compute_head(
   if (heavy(v)) {
     // Sampled neighbor with minimum rand; else self (v joins D').
     VertexId best = kNoVertex;
-    for (VertexId w : adj_[v])
+    for (VertexId w : graph_.neighbors(v))
       if (sampled_[w] && (best == kNoVertex || rand_[w] < rand_[best]))
         best = w;
     hr.head = best == kNoVertex ? v : best;
@@ -118,10 +138,16 @@ UltraSparseSpanner::HeadResult UltraSparseSpanner::compute_head(
   }
   // Algorithm 5: bounded BFS of radius T_, no branching through heavy
   // vertices; early exit once deeper levels cannot beat the best candidate.
-  std::unordered_map<VertexId, uint32_t> dist;
-  std::unordered_map<VertexId, VertexId> par;  // BFS parent, toward v
-  std::vector<VertexId> frontier{v};
-  dist[v] = 0;
+  // Ball state lives in the epoch-stamped scratch: O(ball) words touched,
+  // no hashing, no per-call allocation after warm-up.
+  hs.ensure(n_);
+  ++hs.epoch;
+  hs.frontier.clear();
+  hs.frontier.push_back(v);
+  hs.stamp[v] = hs.epoch;
+  hs.dist[v] = 0;
+  hs.par[v] = kNoVertex;
+  size_t ball = 1;  // visited vertices
   // Candidate = (distance, rand, center, realizing vertex).
   uint32_t bd = UINT32_MAX;
   uint64_t br = 0;
@@ -135,33 +161,34 @@ UltraSparseSpanner::HeadResult UltraSparseSpanner::compute_head(
       bw = via;
     }
   };
-  for (uint32_t level = 0; !frontier.empty(); ++level) {
+  for (uint32_t level = 0; !hs.frontier.empty(); ++level) {
     // Examine this level's vertices for candidates.
-    for (VertexId w : frontier) {
+    for (VertexId w : hs.frontier) {
       if (!heavy(w)) {
         if (sampled_[w]) offer(level, w, w);
       } else {
         VertexId hw = head_[w];
         assert(hw != kBot);
-        auto it = dist.find(hw);
-        if (it != dist.end())
-          offer(it->second, hw, w);  // head visited: exact distance
+        if (hs.stamp[hw] == hs.epoch)
+          offer(hs.dist[hw], hw, w);  // head visited: exact distance
         else
           offer(level + 1, hw, w);  // assume Dist(w) + 1
       }
     }
     if (level >= T_ || level >= bd) break;  // deeper cannot win
-    std::vector<VertexId> next;
-    for (VertexId w : frontier) {
+    hs.next.clear();
+    for (VertexId w : hs.frontier) {
       if (heavy(w)) continue;  // no branching through heavy vertices
-      for (VertexId z : adj_[w]) {
-        if (dist.count(z)) continue;
-        dist[z] = level + 1;
-        par[z] = w;
-        next.push_back(z);
+      for (VertexId z : graph_.neighbors(w)) {
+        if (hs.stamp[z] == hs.epoch) continue;
+        hs.stamp[z] = hs.epoch;
+        hs.dist[z] = level + 1;
+        hs.par[z] = w;
+        hs.next.push_back(z);
+        ++ball;
       }
     }
-    frontier = std::move(next);
+    std::swap(hs.frontier, hs.next);
   }
   if (bc != kNoVertex) {
     hr.head = bc;
@@ -169,7 +196,7 @@ UltraSparseSpanner::HeadResult UltraSparseSpanner::compute_head(
     // itself when adjacent). bw != v: v is light and unsampled, so it never
     // offers at level 0.
     VertexId walk = bw;
-    while (par.at(walk) != v) walk = par.at(walk);
+    while (hs.par[walk] != v) walk = hs.par[walk];
     hr.par = walk;
     return hr;
   }
@@ -177,23 +204,36 @@ UltraSparseSpanner::HeadResult UltraSparseSpanner::compute_head(
   // explored the component freely. The paper's rule: ⊥ iff the component
   // has at most 10 x log x vertices (a radius-truncated BFS has visited
   // more than T_ of them), else v stays its own unclustered vertex.
-  hr.head = dist.size() <= size_t(T_) ? kBot : v;
+  hr.head = ball <= size_t(T_) ? kBot : v;
   return hr;
 }
 
 std::vector<VertexId> UltraSparseSpanner::light_need_recompute(
-    const std::vector<VertexId>& seeds) const {
+    const std::vector<VertexId>& seeds) {
   // Algorithm 6: BFS of radius T_ from the seeds, branching through light
-  // vertices and through (heavy) seeds.
-  std::unordered_set<VertexId> in_r(seeds.begin(), seeds.end());
-  std::unordered_set<VertexId> visited(seeds.begin(), seeds.end());
+  // vertices and through (heavy) seeds. Epoch-stamped marks keep the sweep
+  // allocation-free; the result is sorted so the downstream recompute and
+  // commit order is canonical.
+  if (seed_mark_.size() < n_) {
+    seed_mark_.resize(n_, 0);
+    visit_mark_.resize(n_, 0);
+  }
+  ++mark_epoch_;
+  std::vector<VertexId> visited = seeds;
   std::vector<VertexId> frontier = seeds;
+  for (VertexId s : seeds) {
+    seed_mark_[s] = mark_epoch_;
+    visit_mark_[s] = mark_epoch_;
+  }
   for (uint32_t level = 1; level <= T_ && !frontier.empty(); ++level) {
     std::vector<VertexId> next;
     for (VertexId w : frontier) {
-      if (heavy(w) && !in_r.count(w)) continue;
-      for (VertexId z : adj_[w]) {
-        if (visited.insert(z).second) next.push_back(z);
+      if (heavy(w) && seed_mark_[w] != mark_epoch_) continue;
+      for (VertexId z : graph_.neighbors(w)) {
+        if (visit_mark_[z] == mark_epoch_) continue;
+        visit_mark_[z] = mark_epoch_;
+        next.push_back(z);
+        visited.push_back(z);
       }
     }
     frontier = std::move(next);
@@ -201,6 +241,7 @@ std::vector<VertexId> UltraSparseSpanner::light_need_recompute(
   std::vector<VertexId> out;
   for (VertexId w : visited)
     if (!heavy(w) && !sampled_[w]) out.push_back(w);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -211,31 +252,32 @@ EdgeKey UltraSparseSpanner::pair_key_of(Edge e) const {
 }
 
 void UltraSparseSpanner::note_pair_touched(EdgeKey pk) {
-  if (touched_pairs_.count(pk)) return;
-  auto it = buckets_.find(pk);
-  touched_pairs_[pk] = PairSnapshot{
-      it != buckets_.end(), it != buckets_.end() ? it->second.rep : kNoEdge};
+  if (touched_pairs_.contains(pk)) return;
+  Bucket* b = buckets_.find(pk);
+  touched_pairs_[pk] =
+      PairSnapshot{b != nullptr, b != nullptr ? b->rep : kNoEdge};
 }
 
 void UltraSparseSpanner::bucket_add(Edge e) {
   EdgeKey pk = pair_key_of(e);
   if (pk == kNoEdge) return;
   note_pair_touched(pk);
-  auto [it, fresh] = buckets_.try_emplace(pk);
-  it->second.members.insert(e.key());
-  if (fresh) it->second.rep = e.key();
+  Bucket& b = buckets_[pk];
+  if (b.members.empty()) b.rep = e.key();
+  assert(std::find(b.members.begin(), b.members.end(), e.key()) ==
+         b.members.end());
+  b.members.push_back(e.key());
 }
 
 void UltraSparseSpanner::bucket_remove(Edge e, EdgeKey pk) {
   if (pk == kNoEdge) return;
   note_pair_touched(pk);
-  auto it = buckets_.find(pk);
-  assert(it != buckets_.end());
-  it->second.members.erase(e.key());
-  if (it->second.members.empty())
-    buckets_.erase(it);
-  else if (it->second.rep == e.key())
-    it->second.rep = *it->second.members.begin();
+  Bucket* b = buckets_.find(pk);
+  assert(b != nullptr);
+  if (b->erase_member(e.key()))
+    buckets_.erase(pk);
+  else if (b->rep == e.key())
+    b->rep = b->members[0];
 }
 
 void UltraSparseSpanner::attach(Edge e) { bucket_add(e); }
@@ -244,17 +286,18 @@ void UltraSparseSpanner::detach(Edge e) { bucket_remove(e, pair_key_of(e)); }
 
 void UltraSparseSpanner::commit_head(VertexId v, const HeadResult& hr) {
   // Move incident edges' bucket / H2 membership from the old head state to
-  // the new one, and refresh the H1 parent contribution.
-  std::vector<Edge> incident;
-  incident.reserve(adj_[v].size());
-  for (VertexId w : adj_[v]) incident.emplace_back(v, w);
-  for (const Edge& e : incident) {
-    if (edge_in_h2(e)) h2_del_.push_back(e);
+  // the new one, and refresh the H1 parent contribution. Adjacency is
+  // stable during a commit phase, so the neighbor span is iterated twice.
+  auto nbrs = graph_.neighbors(v);
+  for (VertexId w : nbrs) {
+    Edge e(v, w);
+    if (edge_in_h2(e)) h2_net_.remove(e.key());
     detach(e);
   }
   head_[v] = hr.head;
-  for (const Edge& e : incident) {
-    if (edge_in_h2(e)) h2_ins_.push_back(e);
+  for (VertexId w : nbrs) {
+    Edge e(v, w);
+    if (edge_in_h2(e)) h2_net_.add(e.key());
     attach(e);
   }
   EdgeKey want = kNoEdge;
@@ -274,32 +317,28 @@ void UltraSparseSpanner::s_add(EdgeKey ek) {
   // representative) within one batch; applying all removals before all
   // insertions at the end keeps S a true set.
   pending_add_.push_back(ek);
-  ++s_delta_[ek];
+  s_delta_.add(ek);
 }
 
 void UltraSparseSpanner::s_remove(EdgeKey ek) {
   pending_rem_.push_back(ek);
-  --s_delta_[ek];
+  s_delta_.remove(ek);
 }
 
 SpannerDiff UltraSparseSpanner::update(const std::vector<Edge>& insertions,
                                        const std::vector<Edge>& deletions) {
-  s_delta_.clear();
+  assert(s_delta_.empty() && h2_net_.empty());
   touched_pairs_.clear();
-  h2_ins_.clear();
-  h2_del_.clear();
 
-  std::unordered_set<VertexId> touched;
-  // --- Deletions. ---
-  for (const Edge& er : deletions) {
-    Edge e(er.u, er.v);
-    if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
-    if (!alive_.erase(e.key())) continue;
-    if (edge_in_h2(e)) h2_del_.push_back(e);
+  // --- Apply the batch to the flat graph; bookkeep per applied edge. The
+  // applied lists come back canonical and key-sorted, which pins down every
+  // bucket-representative election below. ---
+  std::vector<Edge> removed = graph_.erase_edges(deletions);
+  std::vector<VertexId> touched;
+  touched.reserve(2 * (removed.size() + insertions.size()));
+  for (const Edge& e : removed) {
+    if (edge_in_h2(e)) h2_net_.remove(e.key());
     detach(e);
-    adj_[e.u].erase(e.v);
-    adj_[e.v].erase(e.u);
-    --alive_count_;
     // A dying parent edge leaves H1 immediately; the endpoint's head is
     // recomputed below.
     for (VertexId w : {e.u, e.v}) {
@@ -307,144 +346,143 @@ SpannerDiff UltraSparseSpanner::update(const std::vector<Edge>& insertions,
         s_remove(par_edge_[w]);
         par_edge_[w] = kNoEdge;
       }
-      touched.insert(w);
+      touched.push_back(w);
     }
   }
-  // --- Insertions. ---
-  for (const Edge& er : insertions) {
-    Edge e(er.u, er.v);
-    if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
-    if (!alive_.insert(e.key()).second) continue;
-    adj_[e.u].insert(e.v);
-    adj_[e.v].insert(e.u);
-    ++alive_count_;
+  std::vector<Edge> added = graph_.insert_edges(insertions);
+  for (const Edge& e : added) {
     attach(e);
-    if (edge_in_h2(e)) h2_ins_.push_back(e);
-    touched.insert(e.u);
-    touched.insert(e.v);
+    if (edge_in_h2(e)) h2_net_.add(e.key());
+    touched.push_back(e.u);
+    touched.push_back(e.v);
   }
+  sort_unique(touched);
 
   // --- Recomputation (paper §5.2): heavy seeds first, then Algorithm 6's
-  // light set against the committed heavy heads. ---
-  std::vector<VertexId> seeds(touched.begin(), touched.end());
-  for (VertexId v : seeds) {
+  // light set against the committed heavy heads. Each phase computes heads
+  // in parallel (reads committed state only) and commits serially in
+  // ascending vertex order (DESIGN.md §7.2). ---
+  if (scratch_.size() < size_t(std::max(1, num_workers())))
+    scratch_.resize(size_t(std::max(1, num_workers())));
+  std::vector<HeadResult> hres(touched.size());
+  parallel_for(
+      0, touched.size(),
+      [&](size_t i) {
+        VertexId v = touched[i];
+        if (sampled_[v] || heavy(v))
+          hres[i] = compute_head(v, slot_for_thread(scratch_));
+      },
+      64);
+  for (size_t i = 0; i < touched.size(); ++i) {
+    VertexId v = touched[i];
     if (!sampled_[v] && !heavy(v)) continue;  // light handled below
-    HeadResult hr = compute_head(v);
+    const HeadResult& hr = hres[i];
     EdgeKey want = (hr.head != kBot && hr.head != v)
                        ? edge_key(v, hr.par)
                        : kNoEdge;
     if (hr.head != head_[v] || par_edge_[v] != want) commit_head(v, hr);
   }
-  std::vector<VertexId> lights = light_need_recompute(seeds);
-  std::vector<HeadResult> results(lights.size());
-  for (size_t i = 0; i < lights.size(); ++i)
-    results[i] = compute_head(lights[i]);
+  std::vector<VertexId> lights = light_need_recompute(touched);
+  std::vector<HeadResult> lres(lights.size());
+  parallel_for(
+      0, lights.size(),
+      [&](size_t i) {
+        lres[i] = compute_head(lights[i], slot_for_thread(scratch_));
+      },
+      4);
   for (size_t i = 0; i < lights.size(); ++i) {
     VertexId v = lights[i];
-    const HeadResult& hr = results[i];
+    const HeadResult& hr = lres[i];
     EdgeKey want = (hr.head != kBot && hr.head != v)
                        ? edge_key(v, hr.par)
                        : kNoEdge;
     if (hr.head != head_[v] || par_edge_[v] != want) commit_head(v, hr);
   }
 
-  // --- H2 forest update (net the membership churn first). ---
+  // --- H2 forest update (the accumulator nets the membership churn and
+  // drains it key-sorted). ---
   {
-    std::unordered_map<EdgeKey, int32_t> net;
-    for (const Edge& e : h2_ins_) ++net[e.key()];
-    for (const Edge& e : h2_del_) --net[e.key()];
-    std::vector<Edge> ins2, del2;
-    for (auto& [ek, d] : net) {
-      assert(d >= -1 && d <= 1);
-      if (d > 0) ins2.push_back(edge_from_key(ek));
-      if (d < 0) del2.push_back(edge_from_key(ek));
-    }
-    SpannerDiff fd = h2_->update(ins2, del2);
+    SpannerDiff net = h2_net_.drain();
+    SpannerDiff fd = h2_->update(net.inserted, net.removed);
     for (const Edge& e : fd.removed) s_remove(e.key());
     for (const Edge& e : fd.inserted) s_add(e.key());
   }
 
-  // --- Next-level update and representative composition. ---
+  // --- Next-level update and representative composition, touched pairs in
+  // canonical key order. ---
   std::vector<Edge> next_ins, next_del, rep_changed;
-  for (auto& [pk, snap] : touched_pairs_) {
-    auto it = buckets_.find(pk);
-    bool exists = it != buckets_.end();
+  for (EdgeKey pk : touched_pairs_.sorted_keys()) {
+    const PairSnapshot& snap = *touched_pairs_.find(pk);
+    Bucket* b = buckets_.find(pk);
+    bool exists = b != nullptr;
     if (snap.existed && !exists) next_del.push_back(edge_from_key(pk));
     if (!snap.existed && exists) next_ins.push_back(edge_from_key(pk));
-    if (snap.existed && exists && snap.old_rep != it->second.rep)
+    if (snap.existed && exists && snap.old_rep != b->rep)
       rep_changed.push_back(edge_from_key(pk));
   }
   SpannerDiff nd = next_->update(next_ins, next_del);
   for (const Edge& p : nd.removed) {
-    auto it = used_rep_.find(p.key());
-    assert(it != used_rep_.end());
-    s_remove(it->second);
-    used_rep_.erase(it);
+    EdgeKey* it = used_rep_.find(p.key());
+    assert(it != nullptr);
+    s_remove(*it);
+    used_rep_.erase(p.key());
   }
   std::vector<EdgeKey> pending;
   for (const Edge& p : rep_changed) {
-    auto it = used_rep_.find(p.key());
-    if (it == used_rep_.end()) continue;
-    EdgeKey cur = buckets_.at(p.key()).rep;
-    if (it->second == cur) continue;
-    s_remove(it->second);
-    used_rep_.erase(it);
+    EdgeKey* it = used_rep_.find(p.key());
+    if (it == nullptr) continue;
+    EdgeKey cur = buckets_.find(p.key())->rep;
+    if (*it == cur) continue;
+    s_remove(*it);
+    used_rep_.erase(p.key());
     pending.push_back(p.key());
   }
   for (const Edge& p : nd.inserted) {
-    EdgeKey rep = buckets_.at(p.key()).rep;
+    EdgeKey rep = buckets_.find(p.key())->rep;
     used_rep_[p.key()] = rep;
     s_add(rep);
   }
   for (EdgeKey pk : pending) {
-    EdgeKey rep = buckets_.at(pk).rep;
+    EdgeKey rep = buckets_.find(pk)->rep;
     used_rep_[pk] = rep;
     s_add(rep);
   }
+  touched_pairs_.clear();
 
   // Apply deferred S mutations: removals first, then insertions.
   for (EdgeKey ek : pending_rem_) {
-    size_t erased = s_mem_.erase(ek);
-    assert(erased == 1);
+    bool erased = s_mem_.erase(ek);
+    assert(erased);
     (void)erased;
   }
   for (EdgeKey ek : pending_add_) {
-    bool fresh = s_mem_.insert(ek).second;
+    bool fresh = s_mem_.insert(ek);
     assert(fresh && "spanner components must stay disjoint");
     (void)fresh;
   }
   pending_rem_.clear();
   pending_add_.clear();
 
-  SpannerDiff diff;
-  for (auto& [ek, d] : s_delta_) {
-    assert(d >= -1 && d <= 1);
-    if (d > 0) diff.inserted.push_back(edge_from_key(ek));
-    if (d < 0) diff.removed.push_back(edge_from_key(ek));
-  }
-  return diff;
+  return s_delta_.drain();
 }
 
 std::vector<Edge> UltraSparseSpanner::spanner_edges() const {
   std::vector<Edge> out;
   out.reserve(s_mem_.size());
-  for (EdgeKey ek : s_mem_) out.push_back(edge_from_key(ek));
+  for (EdgeKey ek : s_mem_.sorted_keys()) out.push_back(edge_from_key(ek));
   return out;
 }
 
 bool UltraSparseSpanner::check_invariants() const {
-  // Reference heads: heavy/sampled from adjacency, then light.
-  std::vector<VertexId> ref(n_, kBot);
-  std::vector<VertexId> ref_par(n_, kNoVertex);
+  // Reference heads: heavy/sampled from adjacency, then light against the
+  // committed heavy heads.
+  HeadScratch hs;
   for (VertexId v = 0; v < n_; ++v)
-    if (sampled_[v] || heavy(v)) {
-      if (compute_head(v).head != head_[v]) return false;
-      ref[v] = head_[v];
-    }
+    if (sampled_[v] || heavy(v))
+      if (compute_head(v, hs).head != head_[v]) return false;
   for (VertexId v = 0; v < n_; ++v) {
     if (sampled_[v] || heavy(v)) continue;
-    HeadResult hr = compute_head(v);
-    if (hr.head != head_[v]) return false;
+    if (compute_head(v, hs).head != head_[v]) return false;
   }
   // H1 parent contributions: for clustered v the stored edge must connect v
   // to a live neighbor sharing v's head.
@@ -455,47 +493,58 @@ bool UltraSparseSpanner::check_invariants() const {
     }
     if (par_edge_[v] == kNoEdge) return false;
     Edge pe = edge_from_key(par_edge_[v]);
-    if (!alive_.count(pe.key())) return false;
     VertexId p = pe.other(v);
-    if (!adj_[v].count(p)) return false;
+    if (!graph_.has_edge(v, p)) return false;
     if (head_[p] != head_[v]) return false;  // Lemma 5.3 in-cluster parent
   }
   // Buckets from scratch.
-  std::unordered_map<EdgeKey, std::unordered_set<EdgeKey>> ref_buckets;
+  FlatHashMap<EdgeKey, std::vector<EdgeKey>> ref_buckets;
   size_t h2_edges = 0;
-  for (EdgeKey ek : alive_) {
-    Edge e = edge_from_key(ek);
+  bool ok = true;
+  graph_.for_each_edge([&](Edge e) {
     EdgeKey pk = pair_key_of(e);
-    if (pk != kNoEdge) ref_buckets[pk].insert(ek);
+    if (pk != kNoEdge) ref_buckets[pk].push_back(e.key());
     if (edge_in_h2(e)) ++h2_edges;
-  }
+  });
   if (ref_buckets.size() != buckets_.size()) return false;
-  for (auto& [pk, members] : ref_buckets) {
-    auto it = buckets_.find(pk);
-    if (it == buckets_.end()) return false;
-    if (it->second.members != members) return false;
-    if (!members.count(it->second.rep)) return false;
-  }
+  ref_buckets.for_each([&](EdgeKey pk, std::vector<EdgeKey>& members) {
+    const Bucket* b = buckets_.find(pk);
+    if (b == nullptr) {
+      ok = false;
+      return;
+    }
+    std::vector<EdgeKey> have = b->members;
+    std::sort(members.begin(), members.end());
+    std::sort(have.begin(), have.end());
+    if (have != members) ok = false;
+    if (std::find(have.begin(), have.end(), b->rep) == have.end())
+      ok = false;
+  });
+  if (!ok) return false;
   if (h2_->num_edges() != h2_edges) return false;
   if (!h2_->check_invariants()) return false;
   if (!next_->check_invariants()) return false;
   // Next structure's graph must equal the bucket pairs.
   if (next_->num_edges() != buckets_.size()) return false;
   // Composition.
-  std::unordered_set<EdgeKey> ref_s;
+  FlatHashSet<EdgeKey> ref_s;
   for (VertexId v = 0; v < n_; ++v)
     if (par_edge_[v] != kNoEdge) ref_s.insert(par_edge_[v]);
   for (const Edge& e : h2_->forest_edges())
-    if (!ref_s.insert(e.key()).second) return false;
+    if (!ref_s.insert(e.key())) return false;
   auto ns = next_->spanner_edges();
   if (used_rep_.size() != ns.size()) return false;
   for (const Edge& p : ns) {
-    auto it = used_rep_.find(p.key());
-    if (it == used_rep_.end()) return false;
-    if (buckets_.at(p.key()).rep != it->second) return false;
-    if (!ref_s.insert(it->second).second) return false;
+    const EdgeKey* it = used_rep_.find(p.key());
+    if (it == nullptr) return false;
+    if (buckets_.find(p.key())->rep != *it) return false;
+    if (!ref_s.insert(*it)) return false;
   }
-  return ref_s == s_mem_;
+  if (ref_s.size() != s_mem_.size()) return false;
+  ref_s.for_each([&](EdgeKey ek) {
+    if (!s_mem_.contains(ek)) ok = false;
+  });
+  return ok;
 }
 
 }  // namespace parspan

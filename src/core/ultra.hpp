@@ -27,17 +27,29 @@
 // refreshed at updated endpoints first; Algorithm 6's bounded BFS then
 // collects every light vertex whose Algorithm-5 ball was touched, and those
 // are recomputed against the committed heavy heads.
+//
+// Layout & parallelism (DESIGN.md §7.2): adjacency is the flat DynamicGraph
+// substrate (per-vertex dense vectors + one flat position index); buckets,
+// membership sets, and the contracted-pair index are flat open-addressing
+// tables; the Algorithm-5 balls run on epoch-stamped per-thread scratch.
+// Each recomputation phase is two-phase — head *computation* is a
+// parallel_for over the affected vertices (reads committed state only),
+// head *commits* run serially in ascending vertex order — and the batch
+// diff drains key-sorted from a flat accumulator, so output never depends
+// on the worker-thread count.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "connectivity/dynamic_forest.hpp"
-#include "container/counted_treap.hpp"
+#include "container/flat_map.hpp"
+#include "container/rep_bucket.hpp"
 #include "core/sparse_spanner.hpp"
+#include "graph/dynamic_graph.hpp"
 #include "util/types.hpp"
 
 namespace parspan {
@@ -58,11 +70,14 @@ class UltraSparseSpanner {
                      const UltraConfig& cfg);
 
   size_t num_vertices() const { return n_; }
-  size_t num_edges() const { return alive_count_; }
+  size_t num_edges() const { return graph_.num_edges(); }
   size_t spanner_size() const { return s_mem_.size(); }
   std::vector<Edge> spanner_edges() const;
-  bool in_spanner(Edge e) const { return s_mem_.count(e.key()) > 0; }
+  bool in_spanner(Edge e) const { return s_mem_.contains(e.key()); }
 
+  /// Applies one batch (deletions then insertions); returns the net spanner
+  /// diff, both sides sorted by canonical key (deterministic across thread
+  /// counts — DESIGN.md §7).
   SpannerDiff update(const std::vector<Edge>& insertions,
                      const std::vector<Edge>& deletions);
   SpannerDiff insert_edges(const std::vector<Edge>& ins) {
@@ -90,19 +105,36 @@ class UltraSparseSpanner {
     VertexId par = kNoVertex;  // neighbor toward the head (kNoVertex: none)
   };
 
-  bool heavy(VertexId v) const { return adj_[v].size() >= T_; }
-  uint64_t nbr_key(VertexId w) const {
-    return ((sampled_[w] ? 0ull : 1ull) << 62) | (rand_[w] >> 2);
-  }
+  /// Epoch-stamped scratch for one Algorithm-5 ball: O(ball) touched words
+  /// per call, no per-call allocation after warm-up. One instance per
+  /// worker thread (compute_head runs under parallel_for).
+  struct HeadScratch {
+    std::vector<uint32_t> dist;   // valid iff stamp[v] == epoch
+    std::vector<VertexId> par;    // BFS parent toward the source
+    std::vector<uint64_t> stamp;
+    std::vector<VertexId> frontier, next;
+    uint64_t epoch = 0;
+
+    void ensure(size_t n) {
+      if (stamp.size() < n) {
+        dist.resize(n);
+        par.resize(n);
+        stamp.resize(n, 0);
+      }
+    }
+  };
+
+  bool heavy(VertexId v) const { return graph_.degree(v) >= T_; }
 
   /// Algorithm 5 (light) / neighbor-min (heavy). Reads committed heavy
-  /// heads; does not mutate state.
-  HeadResult compute_head(VertexId v) const;
+  /// heads; does not mutate structure state (scratch is caller-owned).
+  HeadResult compute_head(VertexId v, HeadScratch& hs) const;
 
   /// Algorithm 6: light vertices whose Algorithm-5 ball contains a seed,
-  /// branching through light vertices and through heavy seeds.
+  /// branching through light vertices and through heavy seeds. Returns the
+  /// affected light vertices sorted ascending.
   std::vector<VertexId> light_need_recompute(
-      const std::vector<VertexId>& seeds) const;
+      const std::vector<VertexId>& seeds);
 
   EdgeKey pair_key_of(Edge e) const;
   bool edge_in_h2(Edge e) const {
@@ -125,35 +157,39 @@ class UltraSparseSpanner {
 
   std::vector<uint8_t> sampled_;
   std::vector<uint64_t> rand_;
-  std::vector<std::unordered_set<VertexId>> adj_;
-  std::unordered_set<EdgeKey> alive_;
-  size_t alive_count_ = 0;
+  DynamicGraph graph_;  // flat adjacency + edge index (DESIGN.md §2)
 
   std::vector<VertexId> head_;
   std::vector<EdgeKey> par_edge_;  // H1 contribution per vertex
 
-  struct Bucket {
-    std::unordered_set<EdgeKey> members;  // supporting layer-0 edges
-    EdgeKey rep = kNoEdge;
-  };
-  std::unordered_map<EdgeKey, Bucket> buckets_;
+  /// NextLevelEdges[(c, c')]: the alive layer-0 edges whose endpoint heads
+  /// are {c, c'}, plus the designated representative (container/
+  /// rep_bucket.hpp; the rep is assigned with the first member).
+  using Bucket = RepBucket<EdgeKey>;
+  FlatHashMap<EdgeKey, Bucket> buckets_;
 
   std::unique_ptr<SmallComponentForest> h2_;
   std::unique_ptr<SparseSpanner> next_;
 
   // Final spanner composition S = H1 ∪ forest(H2) ∪ rep(S_next).
-  std::unordered_set<EdgeKey> s_mem_;
-  std::unordered_map<EdgeKey, EdgeKey> used_rep_;  // pair -> layer-0 edge
-  std::unordered_map<EdgeKey, int32_t> s_delta_;
+  FlatHashSet<EdgeKey> s_mem_;
+  FlatHashMap<EdgeKey, EdgeKey> used_rep_;  // pair -> layer-0 edge
+  DiffAccumulator s_delta_;
 
   // Batch-scoped accumulators.
   struct PairSnapshot {
-    bool existed;
-    EdgeKey old_rep;
+    bool existed = false;
+    EdgeKey old_rep = kNoEdge;
   };
-  std::unordered_map<EdgeKey, PairSnapshot> touched_pairs_;
-  std::vector<Edge> h2_ins_, h2_del_;
+  FlatHashMap<EdgeKey, PairSnapshot> touched_pairs_;
+  DiffAccumulator h2_net_;                          // H2 membership churn
   std::vector<EdgeKey> pending_add_, pending_rem_;  // deferred S mutations
+
+  // Algorithm-6 scratch (epoch-stamped seed/visited marks).
+  std::vector<uint64_t> seed_mark_, visit_mark_;
+  uint64_t mark_epoch_ = 0;
+  // Per-thread Algorithm-5 scratch for the parallel compute phases.
+  mutable std::vector<HeadScratch> scratch_;
 };
 
 }  // namespace parspan

@@ -1,0 +1,266 @@
+// Tests for the extensions-layer parallel pipeline (DESIGN.md §7):
+// thread-count determinism of the MonotoneSpanner / UltraSparseSpanner /
+// DecrementalSparsifier batch diffs (1 vs 4 workers, byte-identical over a
+// 50-batch deletion sequence, mirroring test_parallel_pipeline.cpp), the
+// key-sorted diff contract, identically-seeded run reproducibility, and
+// cumulative_recourse monotonicity over a long stream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/bundle.hpp"
+#include "core/mpx_spanner.hpp"
+#include "core/sparsifier.hpp"
+#include "core/ultra.hpp"
+#include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace parspan {
+namespace {
+
+bool sorted_by_key(const std::vector<Edge>& es) {
+  return std::is_sorted(es.begin(), es.end());
+}
+
+bool sorted_by_key_weight(const std::vector<WeightedEdge>& es) {
+  return std::is_sorted(es.begin(), es.end(),
+                        [](const WeightedEdge& a, const WeightedEdge& b) {
+                          return a.e.key() != b.e.key()
+                                     ? a.e.key() < b.e.key()
+                                     : a.w < b.w;
+                        });
+}
+
+void expect_equal(const SpannerDiff& a, const SpannerDiff& b, size_t batch) {
+  ASSERT_EQ(a.inserted.size(), b.inserted.size()) << "batch " << batch;
+  ASSERT_EQ(a.removed.size(), b.removed.size()) << "batch " << batch;
+  for (size_t j = 0; j < a.inserted.size(); ++j)
+    ASSERT_EQ(a.inserted[j].key(), b.inserted[j].key())
+        << "batch " << batch << " entry " << j;
+  for (size_t j = 0; j < a.removed.size(); ++j)
+    ASSERT_EQ(a.removed[j].key(), b.removed[j].key())
+        << "batch " << batch << " entry " << j;
+}
+
+void expect_equal(const WeightedDiff& a, const WeightedDiff& b,
+                  size_t batch) {
+  ASSERT_EQ(a.inserted.size(), b.inserted.size()) << "batch " << batch;
+  ASSERT_EQ(a.removed.size(), b.removed.size()) << "batch " << batch;
+  for (size_t j = 0; j < a.inserted.size(); ++j) {
+    ASSERT_EQ(a.inserted[j].e.key(), b.inserted[j].e.key())
+        << "batch " << batch << " entry " << j;
+    ASSERT_EQ(a.inserted[j].w, b.inserted[j].w)
+        << "batch " << batch << " entry " << j;
+  }
+  for (size_t j = 0; j < a.removed.size(); ++j) {
+    ASSERT_EQ(a.removed[j].e.key(), b.removed[j].e.key())
+        << "batch " << batch << " entry " << j;
+    ASSERT_EQ(a.removed[j].w, b.removed[j].w)
+        << "batch " << batch << " entry " << j;
+  }
+}
+
+// --- MonotoneSpanner: 1 vs 4 workers over a 50-batch deletion stream. -----
+TEST(ExtensionsPipeline, MonotoneDiffDeterministicAcrossThreadCounts) {
+  const size_t n = 80;
+  auto edges = gen_erdos_renyi(n, 1000, 3);
+  auto stream = gen_decremental_stream(edges, 20, 11);
+  ASSERT_EQ(stream.size(), 50u);
+
+  int saved = num_workers();
+  std::vector<SpannerDiff> base;
+  {
+    set_num_workers(1);
+    MonotoneSpannerConfig cfg;
+    cfg.seed = 5;
+    MonotoneSpanner sp(n, edges, cfg);
+    for (auto& b : stream) base.push_back(sp.delete_edges(b.deletions));
+  }
+  {
+    set_num_workers(4);
+    MonotoneSpannerConfig cfg;
+    cfg.seed = 5;
+    MonotoneSpanner sp(n, edges, cfg);
+    for (size_t i = 0; i < stream.size(); ++i) {
+      SpannerDiff d = sp.delete_edges(stream[i].deletions);
+      ASSERT_TRUE(sorted_by_key(d.inserted)) << "batch " << i;
+      ASSERT_TRUE(sorted_by_key(d.removed)) << "batch " << i;
+      expect_equal(d, base[i], i);
+    }
+    EXPECT_EQ(sp.spanner_size(), 0u);
+  }
+  set_num_workers(saved);
+}
+
+// --- UltraSparseSpanner: 1 vs 4 workers over a mixed stream. --------------
+TEST(ExtensionsPipeline, UltraDiffDeterministicAcrossThreadCounts) {
+  const size_t n = 60;
+  auto [initial, batches] = gen_mixed_stream(n, 700, 24, 25, 9);
+
+  int saved = num_workers();
+  std::vector<SpannerDiff> base;
+  std::vector<std::vector<Edge>> base_spanner;
+  {
+    set_num_workers(1);
+    UltraConfig cfg;
+    cfg.x = 2;
+    cfg.seed = 7;
+    UltraSparseSpanner sp(n, initial, cfg);
+    for (auto& b : batches) {
+      base.push_back(sp.update(b.insertions, b.deletions));
+      base_spanner.push_back(sp.spanner_edges());
+    }
+  }
+  {
+    set_num_workers(4);
+    UltraConfig cfg;
+    cfg.x = 2;
+    cfg.seed = 7;
+    UltraSparseSpanner sp(n, initial, cfg);
+    for (size_t i = 0; i < batches.size(); ++i) {
+      SpannerDiff d = sp.update(batches[i].insertions, batches[i].deletions);
+      ASSERT_TRUE(sorted_by_key(d.inserted)) << "batch " << i;
+      ASSERT_TRUE(sorted_by_key(d.removed)) << "batch " << i;
+      expect_equal(d, base[i], i);
+      // spanner_edges is key-sorted, so element-wise equality is exact.
+      ASSERT_EQ(sp.spanner_edges(), base_spanner[i]) << "batch " << i;
+    }
+  }
+  set_num_workers(saved);
+}
+
+// --- DecrementalSparsifier: 1 vs 4 workers, 50-batch deletion stream. -----
+TEST(ExtensionsPipeline, SparsifierDiffDeterministicAcrossThreadCounts) {
+  const size_t n = 40;
+  auto edges = gen_erdos_renyi(n, 400, 5);
+  auto stream = gen_decremental_stream(edges, 8, 13);
+  ASSERT_EQ(stream.size(), 50u);
+
+  int saved = num_workers();
+  std::vector<WeightedDiff> base;
+  {
+    set_num_workers(1);
+    SparsifierConfig cfg;
+    cfg.t = 2;
+    cfg.seed = 17;
+    DecrementalSparsifier sp(n, edges, cfg);
+    for (auto& b : stream) base.push_back(sp.delete_edges(b.deletions));
+  }
+  {
+    set_num_workers(4);
+    SparsifierConfig cfg;
+    cfg.t = 2;
+    cfg.seed = 17;
+    DecrementalSparsifier sp(n, edges, cfg);
+    for (size_t i = 0; i < stream.size(); ++i) {
+      WeightedDiff d = sp.delete_edges(stream[i].deletions);
+      ASSERT_TRUE(sorted_by_key_weight(d.inserted)) << "batch " << i;
+      ASSERT_TRUE(sorted_by_key_weight(d.removed)) << "batch " << i;
+      expect_equal(d, base[i], i);
+    }
+    EXPECT_EQ(sp.size(), 0u);
+  }
+  set_num_workers(saved);
+}
+
+// --- Parallel cascade must keep propagating the carry. --------------------
+// Regression test: the two-round parallel deletion path once forwarded only
+// freshly absorbed edges to the next stage, dropping carry edges that were
+// deleted (without re-absorption) at stage j+1 but still alive at stage
+// j+2 — breaking the stage-nesting invariant and diverging from the
+// 1-worker serial chain. Needs small bundles (t=1, one instance) with a
+// generous sample_rate so the deeper stages keep real residuals.
+TEST(ExtensionsPipeline, SparsifierCascadePropagatesCarryAcrossStages) {
+  const size_t n = 120;
+  auto edges = gen_erdos_renyi(n, 3000, 8);
+  auto stream = gen_decremental_stream(edges, 100, 19);
+
+  int saved = num_workers();
+  auto run = [&](int workers) {
+    set_num_workers(workers);
+    SparsifierConfig cfg;
+    cfg.t = 1;
+    cfg.instances = 1;
+    cfg.sample_rate = 0.5;
+    cfg.seed = 23;
+    DecrementalSparsifier sp(n, edges, cfg);
+    EXPECT_GE(sp.num_stages(), 3u) << "config must produce a real chain";
+    std::vector<WeightedDiff> out;
+    for (auto& b : stream) {
+      out.push_back(sp.delete_edges(b.deletions));
+      EXPECT_TRUE(sp.check_invariants())
+          << "workers=" << workers << " batch " << out.size() - 1;
+    }
+    EXPECT_EQ(sp.size(), 0u);
+    return out;
+  };
+  auto serial = run(1);
+  auto parallel = run(4);
+  set_num_workers(saved);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i)
+    expect_equal(serial[i], parallel[i], i);
+}
+
+// --- Identically-seeded runs emit identical, key-sorted diffs. ------------
+// Regression test for the DESIGN.md §6 contract violation: the extensions
+// used to emit diffs in hash-iteration order, so two identical runs could
+// disagree element-wise even with equal diff *sets*.
+TEST(ExtensionsPipeline, IdenticallySeededRunsEmitIdenticalDiffs) {
+  const size_t n = 50;
+  auto edges = gen_erdos_renyi(n, 500, 21);
+  auto stream = gen_decremental_stream(edges, 25, 31);
+  auto run = [&]() {
+    std::vector<SpannerDiff> out;
+    MonotoneSpannerConfig cfg;
+    cfg.seed = 77;
+    MonotoneSpanner sp(n, edges, cfg);
+    for (auto& b : stream) out.push_back(sp.delete_edges(b.deletions));
+    return out;
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(sorted_by_key(a[i].inserted));
+    ASSERT_TRUE(sorted_by_key(a[i].removed));
+    expect_equal(a[i], b[i], i);
+  }
+}
+
+// --- cumulative_recourse is monotone and equals the emitted diff volume. --
+TEST(ExtensionsPipeline, CumulativeRecourseMonotoneOverStream) {
+  const size_t n = 60;
+  auto edges = gen_erdos_renyi(n, 800, 2);
+  MonotoneSpannerConfig mcfg;
+  mcfg.seed = 3;
+  MonotoneSpanner msp(n, edges, mcfg);
+  BundleConfig bcfg;
+  bcfg.t = 2;
+  bcfg.seed = 4;
+  SpannerBundle bsp(n, edges, bcfg);
+
+  auto stream = gen_decremental_stream(edges, 16, 23);
+  ASSERT_EQ(stream.size(), 50u);
+  uint64_t prev_m = msp.cumulative_recourse();
+  uint64_t prev_b = bsp.cumulative_recourse();
+  uint64_t bundle_volume = 0;
+  for (auto& b : stream) {
+    msp.delete_edges(b.deletions);
+    SpannerDiff d = bsp.delete_edges(b.deletions);
+    bundle_volume += d.inserted.size() + d.removed.size();
+    ASSERT_GE(msp.cumulative_recourse(), prev_m);
+    ASSERT_GE(bsp.cumulative_recourse(), prev_b);
+    prev_m = msp.cumulative_recourse();
+    prev_b = bsp.cumulative_recourse();
+  }
+  // The bundle's counter is exactly the diff volume it emitted; the
+  // monotone property keeps it at most 2m + |B_0| over the full stream.
+  EXPECT_EQ(bsp.cumulative_recourse(), bundle_volume);
+  EXPECT_EQ(msp.spanner_size(), 0u);
+  EXPECT_EQ(bsp.bundle_size(), 0u);
+}
+
+}  // namespace
+}  // namespace parspan

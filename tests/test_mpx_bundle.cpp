@@ -2,6 +2,7 @@
 // spanner (Theorem 1.5).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "core/bundle.hpp"
@@ -60,6 +61,29 @@ TEST(MonotoneSpanner, DecrementalStreamStaysValid) {
                            sp.stretch_bound()));
   }
   EXPECT_EQ(sp.spanner_size(), 0u);
+}
+
+TEST(MonotoneSpanner, StretchBoundIsLemma64Witness) {
+  // Lemma 6.4: an edge covered by instance i detours through its cluster
+  // forest in at most 2 (t_i - 1) hops (both endpoints sit within t_i - 1
+  // of the covering center), so the union's stretch witness is exactly
+  // 2 * max_i (t_i - 1) — the header's documented bound, previously
+  // computed with a spurious +1.
+  for (uint64_t seed : {6u, 7u}) {
+    auto edges = gen_erdos_renyi(60, 400, seed);
+    MonotoneSpannerConfig cfg;
+    cfg.seed = seed + 3;
+    MonotoneSpanner sp(60, edges, cfg);
+    ASSERT_GT(sp.num_instances(), 0u);
+    uint32_t max_t = 0;
+    for (size_t i = 0; i < sp.num_instances(); ++i)
+      max_t = std::max(max_t, sp.instance_t(i));
+    ASSERT_GE(max_t, 1u);
+    EXPECT_EQ(sp.stretch_bound(), 2 * (max_t - 1));
+    // And the tightened bound must actually hold on the graph.
+    EXPECT_TRUE(
+        is_spanner(60, edges, sp.spanner_edges(), sp.stretch_bound()));
+  }
 }
 
 TEST(MonotoneSpanner, RecourseIsMonotoneBounded) {
