@@ -5,6 +5,8 @@
 #   BENCH_primitives.json  — scan / sort / pack substrate microbenchmarks
 #   BENCH_extensions.json  — Theorems 1.4-1.6 (ultra / bundle / sparsifier)
 #                            size + batch-update throughput
+#   BENCH_service.json     — serving layer: mixed read/write throughput vs
+#                            reader count, incremental publish vs re-export
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -79,3 +81,11 @@ merge "$tmpdir/bench_ultra_sparse.tmp.json" \
       "$tmpdir/bench_sparsifier.tmp.json" \
   >"$repo_root/BENCH_extensions.json"
 echo "wrote $repo_root/BENCH_extensions.json"
+
+echo "== service benches (snapshot serving layer) =="
+"$build_dir/bench_service" \
+  --benchmark_format=json \
+  >"$tmpdir/bench_service.tmp.json"
+merge "$tmpdir/bench_service.tmp.json" \
+  >"$repo_root/BENCH_service.json"
+echo "wrote $repo_root/BENCH_service.json"

@@ -209,7 +209,8 @@ SpannerDiff FullyDynamicSpanner::update(const std::vector<Edge>& insertions,
   // Jobs target disjoint slots and share no state; each construction is
   // itself parallel, and nested regions degrade gracefully to serial inner
   // loops. chunk 1 so distinct jobs land on distinct workers.
-#pragma omp parallel for schedule(dynamic, 1) if (jobs.size() > 1)
+#pragma omp parallel for schedule(dynamic, 1) \
+    if (jobs.size() > 1 && num_workers() > 1)
   for (size_t idx = 0; idx < jobs.size(); ++idx) {
     RebuildJob& job = jobs[idx];
     if (job.cancelled) continue;

@@ -119,6 +119,44 @@ inline std::vector<EdgeKey> canonical_edge_keys(
   return keys;
 }
 
+/// Applies a key-sorted SpannerDiff-style delta to a sorted, unique key
+/// list: one three-pointer merge, O(|base| + |diff|) — the incremental
+/// snapshot-publish path of the service layer (DESIGN.md §8), which is what
+/// lets a version be published per batch without re-exporting the whole
+/// spanner. `add` keys must be absent from `base`, `rem` keys present
+/// (both are guaranteed by the SpannerDiff net-change contract and checked
+/// by assertion).
+inline std::vector<EdgeKey> apply_sorted_diff(std::span<const EdgeKey> base,
+                                              std::span<const EdgeKey> add,
+                                              std::span<const EdgeKey> rem) {
+  assert(std::is_sorted(base.begin(), base.end()));
+  assert(std::is_sorted(add.begin(), add.end()));
+  assert(std::is_sorted(rem.begin(), rem.end()));
+  std::vector<EdgeKey> out;
+  out.reserve(base.size() + add.size() - rem.size());
+  size_t a = 0, r = 0;
+  for (EdgeKey k : base) {
+    if (r < rem.size() && rem[r] == k) {
+      ++r;
+      continue;
+    }
+    while (a < add.size() && add[a] < k) out.push_back(add[a++]);
+    assert(a >= add.size() || add[a] != k);
+    out.push_back(k);
+  }
+  while (a < add.size()) out.push_back(add[a++]);
+  assert(r == rem.size());
+  return out;
+}
+
+/// The canonical keys of a diff side (already key-sorted by the §6 diff
+/// contract).
+inline std::vector<EdgeKey> diff_side_keys(const std::vector<Edge>& side) {
+  std::vector<EdgeKey> keys(side.size());
+  parallel_for(0, side.size(), [&](size_t i) { keys[i] = side[i].key(); });
+  return keys;
+}
+
 /// Immutable CSR adjacency with an arc-id payload per entry. Entry j of
 /// vertex v is the arc (v -> nbr[j]) with identifier arc[j].
 struct CsrGraph {
@@ -160,6 +198,34 @@ inline CsrGraph csr_build(size_t n, const std::vector<Edge>& edges) {
     uint32_t a = csr.arc[j];
     const Edge& e = edges[a >> 1];
     csr.nbr[j] = (a & 1) ? e.u : e.v;  // arc 2i: u->v, arc 2i+1: v->u
+  });
+  return csr;
+}
+
+/// Builds the symmetric CSR adjacency of canonical edge keys (sorted or
+/// not; must be valid, i.e. not kNoEdge, with endpoints < n). Same arc-id
+/// convention as csr_build: key i contributes arcs 2i (lo -> hi) and
+/// 2i + 1 (hi -> lo). When the keys are ascending the per-vertex neighbor
+/// lists come out ascending too (group_by_key is stable), which the
+/// snapshot layer relies on for its binary-searched has_edge.
+inline CsrGraph csr_build_from_keys(size_t n, std::span<const EdgeKey> keys) {
+  size_t m = keys.size();
+  std::vector<uint32_t> srcs(2 * m);
+  parallel_for(0, m, [&](size_t i) {
+    auto [u, v] = edge_endpoints(keys[i]);
+    assert(keys[i] != kNoEdge && u < n && v < n);
+    srcs[2 * i] = u;
+    srcs[2 * i + 1] = v;
+  });
+  GroupedIndices g = group_by_key(n, srcs);
+  CsrGraph csr;
+  csr.offsets = std::move(g.offsets);
+  csr.nbr.resize(2 * m);
+  csr.arc = std::move(g.items);
+  parallel_for(0, 2 * m, [&](size_t j) {
+    uint32_t a = csr.arc[j];
+    auto [u, v] = edge_endpoints(keys[a >> 1]);
+    csr.nbr[j] = (a & 1) ? u : v;  // arc 2i: lo->hi, arc 2i+1: hi->lo
   });
   return csr;
 }

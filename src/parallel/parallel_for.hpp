@@ -11,17 +11,38 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 
 namespace parspan {
 
 /// Default minimum number of iterations before a loop is parallelized.
 inline constexpr size_t kParGrain = 2048;
 
-/// Number of worker threads OpenMP will use.
-inline int num_workers() { return omp_get_max_threads(); }
+/// True when PARSPAN_FORCE_SERIAL is set in the environment: every OpenMP
+/// region degrades to its serial path, overriding set_num_workers. The
+/// ThreadSanitizer CI job uses this — libgomp is uninstrumented (its futex
+/// barriers are invisible to TSan, so any cross-region data handoff would
+/// be a false positive), and serializing the *internal* parallelism aims
+/// the checker at the real cross-thread surface: the service layer's
+/// reader/writer std::threads (DESIGN.md §8.4).
+inline bool force_serial() {
+  static const bool v = [] {
+    const char* e = std::getenv("PARSPAN_FORCE_SERIAL");
+    return e != nullptr && *e != '\0' && *e != '0';
+  }();
+  return v;
+}
 
-/// Sets the number of worker threads (global; used by benchmarks to sweep).
-inline void set_num_workers(int p) { omp_set_num_threads(p); }
+/// Number of worker threads OpenMP will use.
+inline int num_workers() {
+  return force_serial() ? 1 : omp_get_max_threads();
+}
+
+/// Sets the number of worker threads (global; used by benchmarks to sweep
+/// and by the determinism tests; a no-op under PARSPAN_FORCE_SERIAL).
+inline void set_num_workers(int p) {
+  if (!force_serial()) omp_set_num_threads(p);
+}
 
 /// parallel_for(lo, hi, f): applies f(i) for all i in [lo, hi).
 /// Runs serially when the trip count is below `grain`. The dynamic chunk

@@ -1,0 +1,27 @@
+#include "service/spanner_service.hpp"
+
+namespace parspan {
+
+SpannerService::ApplyResult SpannerService::apply(
+    const std::vector<Edge>& insertions, const std::vector<Edge>& deletions) {
+  // Single-writer discipline: concurrent apply() calls are a caller bug
+  // (the backend itself forbids them), caught here before they corrupt it.
+  bool was_busy = writer_busy_.exchange(true, std::memory_order_acquire);
+  assert(!was_busy && "SpannerService::apply: concurrent writers");
+  (void)was_busy;
+
+  ApplyResult r;
+  r.diff = backend_->update(insertions, deletions);
+  // Fold the net diff into the previous version's key list instead of
+  // re-exporting the spanner: O(spanner) merge + CSR rebuild, no hash-table
+  // walks (DESIGN.md §8.2). The store holds the only writer-side reference,
+  // so acquire() here is the previous publish.
+  SpannerSnapshot::Ptr prev = store_.acquire();
+  r.snapshot = SpannerSnapshot::apply(*prev, r.diff);
+  store_.publish(r.snapshot);
+
+  writer_busy_.store(false, std::memory_order_release);
+  return r;
+}
+
+}  // namespace parspan

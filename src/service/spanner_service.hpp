@@ -1,0 +1,115 @@
+// SpannerService: the concurrent query-serving layer over any batch-dynamic
+// spanner backend (DESIGN.md §8).
+//
+// Roles:
+//  * ONE writer thread calls apply(insertions, deletions). Each call runs
+//    the backend's (internally parallel) batch update, folds the returned
+//    net SpannerDiff into the previous snapshot's key list
+//    (SpannerSnapshot::apply — incremental, no re-export), and publishes
+//    the new version through the SnapshotStore.
+//  * ANY number of reader threads call snapshot() and answer has_edge /
+//    neighbors / distance / edges queries against the pinned, immutable
+//    version — fully overlapped with the writer's next batch.
+//
+// The backend is type-erased behind a small concept (update /
+// spanner_edges / num_vertices): FullyDynamicSpanner (Theorem 1.1, pass
+// stretch 2k-1), UltraSparseSpanner (Theorem 1.4, pass stretch_bound()),
+// or any future structure honoring the §6 diff contract — deletions first,
+// duplicates filtered, both diff sides key-sorted and net. That contract
+// is what the service inherits: the published snapshot sequence (and every
+// diff) is a deterministic function of (backend construction, batch
+// history), independent of the worker-thread count.
+//
+// Thread safety: apply() must be externally serialized (single writer —
+// enforced by a debug trap); snapshot(), version(), and all SpannerSnapshot
+// queries are safe from any thread at any time, including concurrently
+// with apply().
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/cluster_spanner.hpp"
+#include "service/snapshot_store.hpp"
+#include "service/spanner_snapshot.hpp"
+#include "util/types.hpp"
+
+namespace parspan {
+
+class SpannerService {
+ public:
+  /// Result of one writer batch: the diff the backend reported and the
+  /// snapshot version that now serves it.
+  struct ApplyResult {
+    SpannerDiff diff;
+    SpannerSnapshot::Ptr snapshot;
+  };
+
+  /// Takes ownership of a constructed backend and publishes version 0 from
+  /// its current spanner (the only full spanner_edges() export the service
+  /// ever performs). `stretch` is the backend's guarantee, served to
+  /// readers via SpannerSnapshot::stretch().
+  template <typename Backend>
+  SpannerService(std::unique_ptr<Backend> backend, uint32_t stretch)
+      : backend_(std::make_unique<Model<Backend>>(std::move(backend))) {
+    store_.publish(SpannerSnapshot::initial(
+        backend_->num_vertices(), backend_->spanner_edges(), stretch));
+  }
+
+  /// Applies one batch (deletions first, then insertions — the backend's
+  /// documented semantics) and publishes the next snapshot version.
+  /// Writer thread only.
+  ApplyResult apply(const std::vector<Edge>& insertions,
+                    const std::vector<Edge>& deletions);
+
+  /// Pins the currently served snapshot (one pointer-copy critical
+  /// section — DESIGN.md §8.1). Any thread; the returned version stays
+  /// fully valid for as long as the caller holds it, across any number of
+  /// later publishes.
+  SpannerSnapshot::Ptr snapshot() const { return store_.acquire(); }
+
+  /// Version currently being served (= number of batches applied).
+  uint64_t version() const { return store_.acquire()->version(); }
+
+  size_t num_vertices() const { return backend_->num_vertices(); }
+
+  /// Re-exports the backend's spanner (bypassing the snapshot path) for
+  /// differential checks. Writer-quiescent only — not safe concurrently
+  /// with apply().
+  std::vector<Edge> export_spanner() const {
+    return backend_->spanner_edges();
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual SpannerDiff update(const std::vector<Edge>& ins,
+                               const std::vector<Edge>& del) = 0;
+    virtual std::vector<Edge> spanner_edges() const = 0;
+    virtual size_t num_vertices() const = 0;
+  };
+
+  template <typename B>
+  struct Model final : Concept {
+    explicit Model(std::unique_ptr<B> b) : impl(std::move(b)) {}
+    SpannerDiff update(const std::vector<Edge>& ins,
+                       const std::vector<Edge>& del) override {
+      return impl->update(ins, del);
+    }
+    std::vector<Edge> spanner_edges() const override {
+      return impl->spanner_edges();
+    }
+    size_t num_vertices() const override { return impl->num_vertices(); }
+    std::unique_ptr<B> impl;
+  };
+
+  std::unique_ptr<Concept> backend_;
+  SnapshotStore store_;
+  std::atomic<bool> writer_busy_{false};  // single-writer debug trap
+};
+
+}  // namespace parspan

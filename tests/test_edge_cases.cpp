@@ -3,12 +3,16 @@
 // graph shapes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "core/bundle.hpp"
 #include "core/fully_dynamic_spanner.hpp"
 #include "core/sparse_spanner.hpp"
 #include "core/sparsifier.hpp"
 #include "core/ultra.hpp"
 #include "graph/generators.hpp"
+#include "service/spanner_service.hpp"
 #include "verify/spanner_check.hpp"
 
 namespace parspan {
@@ -156,6 +160,112 @@ TEST(EdgeCases, GrowFromEmptyToDenseAndBack) {
     ASSERT_TRUE(sp.check_invariants());
   }
   EXPECT_EQ(sp.num_edges(), 0u);
+}
+
+// --- "Deletions first, duplicates filtered" batch semantics, pinned. ------
+
+TEST(EdgeCases, SameEdgeInBothSidesOfOneBatch) {
+  // Deletions apply first: an edge listed on both sides of one batch is
+  // deleted, then re-inserted — it ends PRESENT either way.
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  auto edges = gen_erdos_renyi(30, 120, 5);
+  FullyDynamicSpanner sp(30, edges, cfg);
+  size_t m = sp.num_edges();
+
+  // Present edge on both sides: count unchanged, edge still present.
+  Edge present = edges[0];
+  sp.update({present}, {present});
+  EXPECT_TRUE(sp.has_edge(present));
+  EXPECT_EQ(sp.num_edges(), m);
+  EXPECT_TRUE(sp.check_invariants());
+
+  // Absent edge on both sides: the deletion is a filtered no-op, the
+  // insertion lands — the edge ends present here too.
+  Edge absent{0, 0};
+  for (VertexId u = 0; u < 30 && absent.u == absent.v; ++u)
+    for (VertexId v = u + 1; v < 30; ++v)
+      if (!sp.has_edge({u, v})) {
+        absent = {u, v};
+        break;
+      }
+  ASSERT_NE(absent.u, absent.v);
+  sp.update({absent}, {absent});
+  EXPECT_TRUE(sp.has_edge(absent));
+  EXPECT_EQ(sp.num_edges(), m + 1);
+  EXPECT_TRUE(sp.check_invariants());
+}
+
+TEST(EdgeCases, ReinsertPresentEdgeIsFilteredNoop) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  auto edges = gen_erdos_renyi(25, 100, 6);
+  FullyDynamicSpanner sp(25, edges, cfg);
+  size_t m = sp.num_edges();
+  size_t s = sp.spanner_size();
+  // Re-inserting present edges (including the same edge twice in one
+  // batch) is filtered before it reaches any partition: no diff, no churn.
+  auto d = sp.insert_edges({edges[1], edges[2], edges[1]});
+  EXPECT_TRUE(d.inserted.empty() && d.removed.empty());
+  EXPECT_EQ(sp.num_edges(), m);
+  EXPECT_EQ(sp.spanner_size(), s);
+  EXPECT_TRUE(sp.check_invariants());
+}
+
+TEST(EdgeCases, ZeroAndOneVertexGraphs) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 3;
+  {
+    FullyDynamicSpanner sp(0, {{0, 1}}, cfg);
+    EXPECT_EQ(sp.num_edges(), 0u);
+    auto d = sp.update({{0, 1}, {2, 3}}, {{0, 1}});
+    EXPECT_TRUE(d.inserted.empty() && d.removed.empty());
+    EXPECT_EQ(sp.spanner_size(), 0u);
+    EXPECT_TRUE(sp.check_invariants());
+  }
+  {
+    FullyDynamicSpanner sp(1, {{0, 0}, {0, 1}}, cfg);
+    EXPECT_EQ(sp.num_edges(), 0u);
+    auto d = sp.update({{0, 0}}, {{0, 0}});
+    EXPECT_TRUE(d.inserted.empty() && d.removed.empty());
+    EXPECT_TRUE(sp.check_invariants());
+  }
+  // The serving layer degrades identically: empty snapshots, no crashes.
+  for (size_t n : {size_t{0}, size_t{1}}) {
+    SpannerService svc(
+        std::make_unique<FullyDynamicSpanner>(n, std::vector<Edge>{}, cfg),
+        5);
+    auto r = svc.apply({{0, 1}}, {{0, 1}});
+    EXPECT_EQ(r.snapshot->num_edges(), 0u);
+    EXPECT_TRUE(r.snapshot->consistent());
+    EXPECT_FALSE(r.snapshot->has_edge(0, 1));
+    if (n == 1) EXPECT_EQ(r.snapshot->distance(0, 0, 3), 0u);
+  }
+}
+
+TEST(EdgeCases, DeletionBatchLargerThanEdgeCount) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  auto edges = gen_erdos_renyi(20, 30, 8);
+  FullyDynamicSpanner sp(20, edges, cfg);
+  ASSERT_EQ(sp.num_edges(), 30u);
+  auto before = sp.spanner_edges();
+  std::sort(before.begin(), before.end());
+
+  // Batch of 3x the edge count: every live edge (twice), plus absent and
+  // out-of-range entries. Everything beyond the live set filters out.
+  std::vector<Edge> del = edges;
+  del.insert(del.end(), edges.begin(), edges.end());
+  for (VertexId v = 0; v < 20; ++v) del.push_back({v, VertexId(v + 100)});
+  auto d = sp.delete_edges(del);
+  EXPECT_EQ(sp.num_edges(), 0u);
+  EXPECT_EQ(sp.spanner_size(), 0u);
+  EXPECT_TRUE(d.inserted.empty());
+  // The net diff removes exactly the previous spanner, key-sorted.
+  ASSERT_EQ(d.removed.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(d.removed[i].key(), before[i].key());
+  EXPECT_TRUE(sp.check_invariants());
 }
 
 }  // namespace

@@ -1,0 +1,273 @@
+// Service-layer tests (DESIGN.md §8): incremental snapshot publishing
+// against full re-export, concurrent readers vs a publishing writer
+// (version monotonicity, self-consistency, no torn views), pinned-snapshot
+// immortality and reference-counted reclamation, and thread-count
+// determinism with the service in the loop.
+//
+// The concurrency tests are the ones the CI ThreadSanitizer job gates:
+// every cross-thread handoff here goes through SnapshotStore's
+// acquire/release pair, so a missing fence or a mutable shared field is a
+// reported race, not a flake.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/fully_dynamic_spanner.hpp"
+#include "core/ultra.hpp"
+#include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "service/spanner_service.hpp"
+#include "verify/spanner_check.hpp"
+
+namespace parspan {
+namespace {
+
+std::vector<Edge> keyed(std::vector<Edge> es) {
+  std::sort(es.begin(), es.end());
+  return es;
+}
+
+std::unique_ptr<SpannerService> make_fds_service(size_t n,
+                                                 const std::vector<Edge>& m0,
+                                                 uint32_t k, uint64_t seed) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = k;
+  cfg.seed = seed;
+  return std::make_unique<SpannerService>(
+      std::make_unique<FullyDynamicSpanner>(n, m0, cfg), 2 * k - 1);
+}
+
+// --- Incremental publish == full export, version by version. --------------
+TEST(Service, IncrementalSnapshotMatchesBackendExport) {
+  const size_t n = 300;
+  auto [initial, batches] = gen_mixed_stream(n, 3600, 120, 40, 21);
+  auto svc = make_fds_service(n, initial, 3, 5);
+
+  SpannerSnapshot::Ptr s0 = svc->snapshot();
+  ASSERT_NE(s0, nullptr);
+  EXPECT_EQ(s0->version(), 0u);
+  EXPECT_EQ(s0->stretch(), 5u);
+  EXPECT_EQ(s0->edges(), keyed(svc->export_spanner()));
+
+  for (size_t i = 0; i < batches.size(); ++i) {
+    auto r = svc->apply(batches[i].insertions, batches[i].deletions);
+    ASSERT_EQ(r.snapshot->version(), i + 1);
+    ASSERT_EQ(svc->version(), i + 1);
+    ASSERT_TRUE(r.snapshot->consistent());
+    // The incrementally built snapshot equals a fresh export.
+    ASSERT_EQ(r.snapshot->edges(), keyed(svc->export_spanner()))
+        << "batch " << i;
+    // And snapshot() serves exactly what apply() returned.
+    ASSERT_EQ(svc->snapshot()->checksum(), r.snapshot->checksum());
+  }
+}
+
+// --- Point queries answer against the pinned version. ---------------------
+TEST(Service, SnapshotQueries) {
+  const size_t n = 200;
+  auto initial = gen_erdos_renyi(n, 2400, 7);
+  auto svc = make_fds_service(n, initial, 2, 9);
+  SpannerSnapshot::Ptr s = svc->snapshot();
+
+  // has_edge: true exactly on the spanner edge set; endpoints out of range
+  // or equal answer false.
+  std::vector<Edge> span = s->edges();
+  for (const Edge& e : span) {
+    ASSERT_TRUE(s->has_edge(e.u, e.v));
+    ASSERT_TRUE(s->has_edge(e.v, e.u));
+  }
+  EXPECT_FALSE(s->has_edge(0, 0));
+  EXPECT_FALSE(s->has_edge(0, VertexId(n)));
+  EXPECT_TRUE(s->neighbors(VertexId(n)).empty());
+  EXPECT_EQ(s->degree(VertexId(n + 7)), 0u);
+  EXPECT_EQ(s->distance(VertexId(n), 0, 3), kSnapshotUnreached);
+  size_t present = 0;
+  for (VertexId v = 1; v < 60; ++v) present += s->has_edge(0, v);
+  size_t expect = 0;
+  for (const Edge& e : span)
+    expect += (e.u == 0 && e.v < 60) || (e.v == 0 && e.u < 60);
+  EXPECT_EQ(present, expect);
+
+  // neighbors: ascending, degree-consistent, symmetric.
+  size_t deg_sum = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    auto nb = s->neighbors(v);
+    ASSERT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    ASSERT_EQ(nb.size(), s->degree(v));
+    deg_sum += nb.size();
+    for (VertexId w : nb) ASSERT_TRUE(s->has_edge(v, w));
+  }
+  EXPECT_EQ(deg_sum, 2 * s->num_edges());
+
+  // distance: 0 to self, 1 across a spanner edge, and <= stretch for every
+  // graph edge (the spanner guarantee, queried through the snapshot).
+  ASSERT_FALSE(span.empty());
+  EXPECT_EQ(s->distance(span[0].u, span[0].u, 0), 0u);
+  EXPECT_EQ(s->distance(span[0].u, span[0].v, 5), 1u);
+  for (size_t i = 0; i < initial.size(); i += 17) {
+    uint32_t d = s->stretch_of(initial[i].u, initial[i].v);
+    ASSERT_NE(d, kSnapshotUnreached) << "edge " << i;
+    ASSERT_LE(d, s->stretch());
+  }
+}
+
+// --- Readers vs writer: monotone versions, never a torn view. -------------
+TEST(Service, ConcurrentReadersSeeMonotoneConsistentVersions) {
+  const size_t n = 400;
+  const size_t num_batches = 60;
+  auto [initial, batches] = gen_mixed_stream(n, 4000, 96, num_batches, 33);
+  auto svc = make_fds_service(n, initial, 3, 13);
+
+  std::atomic<bool> done{false};
+  const int R = 4;
+  std::vector<uint64_t> acquires(R, 0);
+  std::vector<std::thread> readers;
+  readers.reserve(R);
+  for (int t = 0; t < R; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t last = 0, count = 0;
+      uint64_t sink = 0;
+      while (!done.load(std::memory_order_acquire) || count == 0) {
+        SpannerSnapshot::Ptr s = svc->snapshot();
+        ++count;
+        // Version must never run backwards for any single reader.
+        ASSERT_GE(s->version(), last);
+        last = s->version();
+        // The view must be the one the writer built: checksum re-derived
+        // from the data the reader actually sees.
+        ASSERT_TRUE(s->consistent()) << "version " << s->version();
+        // Exercise real reads against the pinned version.
+        VertexId v = VertexId((t * 131 + count * 17) % n);
+        for (VertexId w : s->neighbors(v)) {
+          ASSERT_TRUE(s->has_edge(v, w));
+          sink += w;
+        }
+        sink += s->distance(v, VertexId((v + 1) % n), 4);
+      }
+      acquires[size_t(t)] = count + (sink == 0xdead ? 1 : 0);
+    });
+  }
+
+  for (size_t i = 0; i < batches.size(); ++i)
+    svc->apply(batches[i].insertions, batches[i].deletions);
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(svc->version(), num_batches);
+  for (int t = 0; t < R; ++t) EXPECT_GT(acquires[size_t(t)], 0u);
+}
+
+// --- A pinned snapshot survives many publishes unchanged. -----------------
+TEST(Service, PinnedSnapshotImmutableAcrossPublishes) {
+  const size_t n = 250;
+  auto [initial, batches] = gen_mixed_stream(n, 3000, 80, 50, 41);
+  auto svc = make_fds_service(n, initial, 2, 17);
+
+  SpannerSnapshot::Ptr pinned = svc->snapshot();
+  const uint64_t checksum = pinned->checksum();
+  const std::vector<Edge> edges = pinned->edges();
+
+  for (auto& b : batches) svc->apply(b.insertions, b.deletions);
+
+  EXPECT_EQ(svc->version(), batches.size());
+  EXPECT_EQ(pinned->version(), 0u);
+  EXPECT_EQ(pinned->checksum(), checksum);
+  EXPECT_EQ(pinned->edges(), edges);
+  EXPECT_TRUE(pinned->consistent());
+}
+
+// --- Reclamation: versions die exactly when their last holder lets go. ----
+TEST(Service, SnapshotReclamation) {
+  const size_t n = 150;
+  auto [initial, batches] = gen_mixed_stream(n, 1500, 60, 4, 51);
+  auto svc = make_fds_service(n, initial, 2, 23);
+
+  // Unpinned: the store's publish drops the last reference to version 0.
+  std::weak_ptr<const SpannerSnapshot> w0 = svc->snapshot();
+  ASSERT_FALSE(w0.expired());
+  svc->apply(batches[0].insertions, batches[0].deletions);
+  EXPECT_TRUE(w0.expired());
+
+  // Pinned: the reader's reference keeps version 1 alive across publishes;
+  // releasing it is what frees the version.
+  SpannerSnapshot::Ptr pinned = svc->snapshot();
+  std::weak_ptr<const SpannerSnapshot> w1 = pinned;
+  svc->apply(batches[1].insertions, batches[1].deletions);
+  svc->apply(batches[2].insertions, batches[2].deletions);
+  EXPECT_FALSE(w1.expired());
+  EXPECT_TRUE(pinned->consistent());
+  pinned.reset();
+  EXPECT_TRUE(w1.expired());
+}
+
+// --- Thread-count determinism with the service in the loop. ---------------
+// The §6 diff contract lifts to the serving layer: diffs AND published
+// snapshot checksums are byte-identical between 1- and 4-worker runs.
+TEST(Service, DiffsAndSnapshotsDeterministicAcrossWorkerCounts) {
+  const size_t n = 300;
+  auto [initial, batches] = gen_mixed_stream(n, 5000, 200, 20, 61);
+  auto extra = gen_erdos_renyi(n, 2500, 63);
+  batches.push_back(UpdateBatch{extra, {}});
+  batches.push_back(UpdateBatch{{}, extra});
+
+  int saved = num_workers();
+  std::vector<SpannerDiff> base;
+  std::vector<uint64_t> base_sums;
+  {
+    set_num_workers(1);
+    auto svc = make_fds_service(n, initial, 3, 29);
+    for (auto& b : batches) {
+      auto r = svc->apply(b.insertions, b.deletions);
+      base.push_back(std::move(r.diff));
+      base_sums.push_back(r.snapshot->checksum());
+    }
+  }
+  {
+    set_num_workers(4);
+    auto svc = make_fds_service(n, initial, 3, 29);
+    for (size_t i = 0; i < batches.size(); ++i) {
+      auto r = svc->apply(batches[i].insertions, batches[i].deletions);
+      ASSERT_EQ(r.diff.inserted.size(), base[i].inserted.size()) << i;
+      ASSERT_EQ(r.diff.removed.size(), base[i].removed.size()) << i;
+      for (size_t j = 0; j < r.diff.inserted.size(); ++j)
+        ASSERT_EQ(r.diff.inserted[j].key(), base[i].inserted[j].key()) << i;
+      for (size_t j = 0; j < r.diff.removed.size(); ++j)
+        ASSERT_EQ(r.diff.removed[j].key(), base[i].removed[j].key()) << i;
+      ASSERT_EQ(r.snapshot->checksum(), base_sums[i]) << "batch " << i;
+    }
+  }
+  set_num_workers(saved);
+}
+
+// --- The ultra-sparse backend plugs into the same service. ----------------
+TEST(Service, UltraSparseBackend) {
+  const size_t n = 400;
+  auto [initial, batches] = gen_mixed_stream(n, 1600, 64, 10, 71);
+  UltraConfig cfg;
+  cfg.x = 2;
+  cfg.seed = 3;
+  auto ultra = std::make_unique<UltraSparseSpanner>(n, initial, cfg);
+  const uint32_t stretch = ultra->stretch_bound();
+  SpannerService svc(std::move(ultra), stretch);
+
+  FlatHashSet<EdgeKey> live;
+  for (const Edge& e : initial) live.insert(e.key());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    auto r = svc.apply(batches[i].insertions, batches[i].deletions);
+    for (const Edge& e : batches[i].deletions) live.erase(e.key());
+    for (const Edge& e : batches[i].insertions) live.insert(e.key());
+    ASSERT_TRUE(r.snapshot->consistent());
+    ASSERT_EQ(r.snapshot->edges(), keyed(svc.export_spanner())) << i;
+  }
+  std::vector<Edge> live_edges;
+  live.for_each([&](EdgeKey ek) { live_edges.push_back(edge_from_key(ek)); });
+  EXPECT_TRUE(
+      is_spanner(n, live_edges, svc.snapshot()->edges(), stretch));
+}
+
+}  // namespace
+}  // namespace parspan
