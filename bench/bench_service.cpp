@@ -20,6 +20,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -31,10 +32,17 @@
 namespace parspan {
 namespace {
 
-constexpr size_t kN = 4096;
+// PARSPAN_BENCH_TINY=1: smoke-test sizes for the CI bench-smoke job (the
+// fixture costs dominate a --benchmark_min_time=0.01s run at full size).
+const bool kTiny = [] {
+  const char* e = std::getenv("PARSPAN_BENCH_TINY");
+  return e != nullptr && *e != '\0' && *e != '0';
+}();
+
+const size_t kN = kTiny ? 512 : 4096;
 constexpr uint32_t kK = 3;
-constexpr size_t kBatch = 64;
-constexpr size_t kNumBatches = 24;
+const size_t kBatch = kTiny ? 32 : 64;
+const size_t kNumBatches = kTiny ? 4 : 24;
 
 std::unique_ptr<SpannerService> make_service(
     std::vector<Edge> const& initial) {

@@ -1,0 +1,165 @@
+// Sharded ingestion benchmarks (DESIGN.md §9): the shard-count ×
+// writer-count sweep behind the scaling claim, and ingest-to-visible
+// latency under a fixed offered load.
+//
+// BM_ShardedIngestSaturated/shards/writers: one producer thread submits a
+// fixed mixed update stream as fast as backpressure allows (the router
+// splits each batch across shards), then flush()es; the measured rate is
+// accepted offered load per second with every accepted update applied and
+// published by the time the clock stops (the flush barrier) — the edge
+// count is the submit-side total, deterministic per run even when the
+// queues coalesce. Sharding helps
+// twice: writer threads drain independent shards genuinely in parallel on
+// multi-core hosts, and each shard's backend is ~1/S of the edges, so even
+// serially the per-batch structure work shrinks. The 1→4-shard ratio at 4
+// writers is the acceptance number recorded in BENCH_sharded.json
+// (meaningful on a multi-core host; a 1-core container only shows the
+// structure-size effect).
+//
+// BM_ShardedIngestLatency/shards/writers: the producer paces submits at a
+// fixed offered load instead (default 100 batches/s — well under
+// saturation), and every submit's ingest-to-visible time (submit() until
+// its covering snapshot publish) is recorded by the service; p50/p99 land
+// in the counters. This is the number a latency SLO would watch: adding
+// shards/writers should keep p99 flat as offered load grows.
+//
+// PARSPAN_BENCH_TINY=1 shrinks both to smoke-test size — the CI
+// bench-smoke job builds and runs every bench binary that way, so bitrot
+// in bench-only code fails PRs instead of rotting until the next manual
+// run_benches.sh.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "service/sharded_service.hpp"
+
+namespace parspan {
+namespace {
+
+const bool kTiny = [] {
+  const char* e = std::getenv("PARSPAN_BENCH_TINY");
+  return e != nullptr && *e != '\0' && *e != '0';
+}();
+
+const size_t kN = kTiny ? 512 : 4096;
+const uint32_t kK = 3;
+const size_t kBatch = kTiny ? 64 : 256;
+const size_t kNumBatches = kTiny ? 6 : 32;
+
+std::unique_ptr<ShardedSpannerService> make_sharded(
+    const std::vector<Edge>& initial, uint32_t shards, int writers,
+    bool record_latency) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = kK;
+  cfg.seed = 3;
+  ShardedConfig sc;
+  sc.num_writers = writers;
+  sc.record_latency = record_latency;
+  return ShardedSpannerService::single_graph(kN, initial, shards, cfg, sc);
+}
+
+double percentile(std::vector<int64_t>& v, double p) {
+  if (v.empty()) return 0.0;
+  size_t idx = std::min(v.size() - 1, size_t(p * double(v.size() - 1) + 0.5));
+  std::nth_element(v.begin(), v.begin() + ptrdiff_t(idx), v.end());
+  return double(v[idx]);
+}
+
+void BM_ShardedIngestSaturated(benchmark::State& state) {
+  const uint32_t shards = uint32_t(state.range(0));
+  const int writers = int(state.range(1));
+  const size_t m = size_t(3.0 * std::pow(double(kN), 1.0 + 1.0 / kK));
+  auto [initial, batches] = gen_mixed_stream(kN, m, kBatch, kNumBatches, 17);
+
+  double total_edges = 0, total_secs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto svc = make_sharded(initial, shards, writers, false);
+    state.ResumeTiming();
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto& b : batches) svc->submit(b.insertions, b.deletions);
+    VersionVector vv = svc->flush();
+    auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(vv);
+    total_edges += double(svc->edges_ingested());
+    total_secs += std::chrono::duration<double>(t1 - t0).count();
+    state.PauseTiming();
+    svc.reset();  // teardown off the clock
+    state.ResumeTiming();
+  }
+  state.counters["ingest_edges_per_sec"] = total_edges / total_secs;
+  state.counters["batches_per_sec"] =
+      double(kNumBatches) * double(state.iterations()) / total_secs;
+  state.counters["shards"] = double(shards);
+  state.counters["writers"] = double(writers);
+  state.SetItemsProcessed(int64_t(total_edges));
+}
+
+BENCHMARK(BM_ShardedIngestSaturated)
+    ->ArgsProduct({{1, 2, 4}, {1, 4}})
+    ->ArgNames({"shards", "writers"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(kTiny ? 1 : 3);
+
+void BM_ShardedIngestLatency(benchmark::State& state) {
+  const uint32_t shards = uint32_t(state.range(0));
+  const int writers = int(state.range(1));
+  // Fixed offered load: one batch every 10 ms (100 batches/s), chosen well
+  // under the single-shard saturation point so the queue is the latency,
+  // not the backlog.
+  const auto period = std::chrono::milliseconds(10);
+  const size_t m = size_t(3.0 * std::pow(double(kN), 1.0 + 1.0 / kK));
+  auto [initial, batches] = gen_mixed_stream(kN, m, kBatch, kNumBatches, 17);
+
+  std::vector<int64_t> samples;
+  double total_secs = 0, total_edges = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto svc = make_sharded(initial, shards, writers, true);
+    state.ResumeTiming();
+    auto t0 = std::chrono::steady_clock::now();
+    auto next = t0;
+    for (const auto& b : batches) {
+      next += period;
+      svc->submit(b.insertions, b.deletions);
+      std::this_thread::sleep_until(next);
+    }
+    svc->flush();
+    auto t1 = std::chrono::steady_clock::now();
+    total_secs += std::chrono::duration<double>(t1 - t0).count();
+    total_edges += double(svc->edges_ingested());
+    auto s = svc->latency_samples_ns();
+    samples.insert(samples.end(), s.begin(), s.end());
+    state.PauseTiming();
+    svc.reset();
+    state.ResumeTiming();
+  }
+  state.counters["offered_batches_per_sec"] =
+      1000.0 / double(period.count());
+  state.counters["ingest_edges_per_sec"] = total_edges / total_secs;
+  state.counters["p50_visible_ms"] = percentile(samples, 0.50) * 1e-6;
+  state.counters["p99_visible_ms"] = percentile(samples, 0.99) * 1e-6;
+  state.counters["shards"] = double(shards);
+  state.counters["writers"] = double(writers);
+  state.SetItemsProcessed(int64_t(samples.size()));
+}
+
+BENCHMARK(BM_ShardedIngestLatency)
+    ->ArgsProduct({{1, 4}, {1, 4}})
+    ->ArgNames({"shards", "writers"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(kTiny ? 1 : 2);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

@@ -7,8 +7,14 @@
 #                            size + batch-update throughput
 #   BENCH_service.json     — serving layer: mixed read/write throughput vs
 #                            reader count, incremental publish vs re-export
+#   BENCH_sharded.json     — sharded ingestion: shard-count x writer-count
+#                            sweep (aggregate throughput) + p50/p99
+#                            ingest-to-visible latency at fixed offered load
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: ./build)
+#
+# set -e + pipefail: a crashing bench binary aborts the script instead of
+# silently writing a truncated/empty JSON for the next PR to diff against.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -89,3 +95,11 @@ echo "== service benches (snapshot serving layer) =="
 merge "$tmpdir/bench_service.tmp.json" \
   >"$repo_root/BENCH_service.json"
 echo "wrote $repo_root/BENCH_service.json"
+
+echo "== sharded ingestion benches (shard x writer sweep) =="
+"$build_dir/bench_sharded" \
+  --benchmark_format=json \
+  >"$tmpdir/bench_sharded.tmp.json"
+merge "$tmpdir/bench_sharded.tmp.json" \
+  >"$repo_root/BENCH_sharded.json"
+echo "wrote $repo_root/BENCH_sharded.json"

@@ -1,0 +1,128 @@
+// WorkerPool: a fixed set of std::threads draining slot-addressed work with
+// per-slot mutual exclusion (DESIGN.md §9.3).
+//
+// The pool owns nothing about the work itself — a slot is just an index a
+// producer marks ready with notify(slot), and the pool guarantees that the
+// user's drain function runs for that slot (i) at least once after every
+// notify, and (ii) never on two threads at once for the same slot. That
+// pair is exactly what the sharded ingestion layer needs: shard backends
+// forbid concurrent update() calls, while distinct shards are fully
+// independent and should drain on as many threads as are available.
+//
+// Lost-wakeup safety is a tiny per-slot state machine (kIdle → kQueued →
+// kRunning → kIdle), with one extra state kRunningDirty for "notified while
+// running": the drain function may miss work that arrived after it snapped
+// the slot's queue, so a notify landing mid-run re-queues the slot when the
+// run finishes instead of being dropped. The drain function's return value
+// ("I left work behind") re-queues the same way, so a bounded drain can
+// yield the thread between rounds without stranding its slot.
+//
+// Threads block on one condition variable when the ready deque is empty —
+// an idle pool costs nothing. stop() (also run by the destructor) wakes
+// everyone, lets in-flight drains finish, and joins; notify() after stop()
+// is a no-op, so producers do not need to synchronize with teardown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parspan {
+
+class WorkerPool {
+ public:
+  /// Drains one round of work for `slot`; returns true when the slot still
+  /// has work left (it is re-queued immediately). Called with no locks
+  /// held; never called concurrently for the same slot.
+  using DrainFn = std::function<bool(size_t slot)>;
+
+  WorkerPool(int num_threads, size_t num_slots, DrainFn drain)
+      : drain_(std::move(drain)), state_(num_slots, kIdle) {
+    if (num_threads < 1) num_threads = 1;
+    threads_.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t)
+      threads_.emplace_back([this] { run(); });
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() { stop(); }
+
+  /// Marks `slot` ready. Any thread; cheap no-op when the slot is already
+  /// queued. A notify that lands while the slot is mid-drain re-queues it
+  /// afterwards, so work enqueued concurrently with a drain is never lost.
+  void notify(size_t slot) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopped_) return;
+      uint8_t& s = state_[slot];
+      if (s == kIdle) {
+        s = kQueued;
+        ready_.push_back(slot);
+      } else if (s == kRunning) {
+        s = kRunningDirty;
+        return;  // the running thread re-queues on completion
+      } else {
+        return;  // already queued (or already dirty)
+      }
+    }
+    cv_.notify_one();
+  }
+
+  /// Wakes all threads, waits for in-flight drains to finish, joins.
+  /// Idempotent; queued-but-undrained slots are simply dropped (the sharded
+  /// service flushes before tearing the pool down).
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    for (auto& th : threads_) th.join();
+    threads_.clear();
+  }
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  enum : uint8_t { kIdle = 0, kQueued = 1, kRunning = 2, kRunningDirty = 3 };
+
+  void run() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_.wait(lk, [this] { return stopped_ || !ready_.empty(); });
+      if (stopped_) return;
+      size_t slot = ready_.front();
+      ready_.pop_front();
+      state_[slot] = kRunning;
+      lk.unlock();
+      bool more = drain_(slot);
+      lk.lock();
+      if (more || state_[slot] == kRunningDirty) {
+        state_[slot] = kQueued;
+        ready_.push_back(slot);
+        // Another thread may pick the slot up; keep the pool saturated.
+        cv_.notify_one();
+      } else {
+        state_[slot] = kIdle;
+      }
+    }
+  }
+
+  DrainFn drain_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<size_t> ready_;
+  std::vector<uint8_t> state_;  // per-slot machine, guarded by mu_
+  bool stopped_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace parspan

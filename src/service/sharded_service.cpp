@@ -1,0 +1,323 @@
+#include "service/sharded_service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "container/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace parspan {
+
+// --- ShardedView ------------------------------------------------------------
+
+VersionVector ShardedView::versions() const {
+  VersionVector vv;
+  vv.v.reserve(snaps_.size());
+  for (const auto& s : snaps_) vv.v.push_back(s->version());
+  return vv;
+}
+
+size_t ShardedView::num_edges() const {
+  size_t total = 0;
+  for (const auto& s : snaps_) total += s->num_edges();
+  return total;
+}
+
+void ShardedView::require_single_graph() const {
+  if (router_->single_graph()) return;
+  // Not an assert: composing per-tenant snapshots would answer queries
+  // with other tenants' edges, so this must die in Release builds too.
+  std::fprintf(stderr,
+               "ShardedView: composed reads (has_edge/neighbors/distance) "
+               "require single-graph routing; use graph(g) per tenant\n");
+  std::abort();
+}
+
+void ShardedView::require_in_range(size_t s) const {
+  if (s < snaps_.size()) return;
+  std::fprintf(stderr,
+               "ShardedView: shard/tenant id %zu out of range (%zu shards)\n",
+               s, snaps_.size());
+  std::abort();
+}
+
+bool ShardedView::has_edge(VertexId u, VertexId v) const {
+  require_single_graph();
+  if (u >= n_ || v >= n_ || u == v) return false;
+  return snaps_[router_->shard_of(0, edge_key(u, v))]->has_edge(u, v);
+}
+
+std::vector<VertexId> ShardedView::neighbors(VertexId v) const {
+  require_single_graph();
+  std::vector<VertexId> out;
+  if (v >= n_) return out;
+  // Shard neighbor lists are ascending and pairwise disjoint (each edge has
+  // exactly one owner); a repeated two-list merge keeps the union ascending.
+  for (const auto& s : snaps_) {
+    auto nb = s->neighbors(v);
+    if (nb.empty()) continue;
+    if (out.empty()) {
+      out.assign(nb.begin(), nb.end());
+    } else {
+      std::vector<VertexId> merged;
+      merged.reserve(out.size() + nb.size());
+      std::merge(out.begin(), out.end(), nb.begin(), nb.end(),
+                 std::back_inserter(merged));
+      out.swap(merged);
+    }
+  }
+  return out;
+}
+
+uint32_t ShardedView::distance(VertexId u, VertexId v, uint32_t limit) const {
+  require_single_graph();
+  if (u >= n_ || v >= n_) return kSnapshotUnreached;
+  if (u == v) return 0;
+  // Ball-proportional BFS like SpannerSnapshot::distance, except each
+  // frontier vertex expands through EVERY shard's adjacency — that union is
+  // the composed spanner, so cut edges are stitched at each hop.
+  FlatHashSet<VertexId> visited;
+  std::vector<VertexId> frontier{u}, next;
+  visited.insert(u);
+  for (uint32_t d = 1; d <= limit; ++d) {
+    next.clear();
+    for (VertexId x : frontier) {
+      for (const auto& s : snaps_) {
+        for (VertexId y : s->neighbors(x)) {
+          if (!visited.insert(y)) continue;
+          if (y == v) return d;
+          next.push_back(y);
+        }
+      }
+    }
+    if (next.empty()) break;
+    frontier.swap(next);
+  }
+  return kSnapshotUnreached;
+}
+
+std::vector<Edge> ShardedView::edges() const {
+  // K-way merge of the shards' ascending (disjoint) key lists.
+  std::vector<EdgeKey> keys;
+  keys.reserve(num_edges());
+  for (const auto& s : snaps_) {
+    auto sk = s->edge_keys();
+    keys.insert(keys.end(), sk.begin(), sk.end());
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<Edge> out;
+  out.reserve(keys.size());
+  for (EdgeKey k : keys) out.push_back(edge_from_key(k));
+  return out;
+}
+
+// --- ShardedSpannerService --------------------------------------------------
+
+namespace {
+
+std::unique_ptr<SpannerService> make_shard_service(const ShardSpec& spec) {
+  if (spec.kind == ShardSpec::Kind::kUltraSparse) {
+    auto ultra =
+        std::make_unique<UltraSparseSpanner>(spec.n, spec.initial, spec.ultra);
+    const uint32_t stretch = ultra->stretch_bound();
+    return std::make_unique<SpannerService>(std::move(ultra), stretch);
+  }
+  return std::make_unique<SpannerService>(
+      std::make_unique<FullyDynamicSpanner>(spec.n, spec.initial, spec.fd),
+      2 * spec.fd.k - 1);
+}
+
+}  // namespace
+
+ShardedSpannerService::ShardedSpannerService(std::vector<ShardSpec> specs,
+                                             std::unique_ptr<ShardRouter> router,
+                                             ShardedConfig cfg)
+    : cfg_(cfg), router_(std::move(router)) {
+  assert(router_ != nullptr);
+  assert(specs.size() == router_->num_shards() &&
+         "one ShardSpec per router shard");
+  assert(!specs.empty());
+  paused_.store(cfg_.start_paused, std::memory_order_relaxed);
+  shards_.reserve(specs.size());
+  for (const ShardSpec& spec : specs) {
+    shards_.push_back(std::make_unique<Shard>(
+        make_shard_service(spec), cfg_.queue_capacity, cfg_.record_latency,
+        cfg_.start_paused));
+    n_ = std::max(n_, spec.n);
+  }
+  pool_ = std::make_unique<WorkerPool>(
+      cfg_.num_writers, shards_.size(),
+      [this](size_t s) { return drain_shard(s); });
+}
+
+std::unique_ptr<ShardedSpannerService> ShardedSpannerService::single_graph(
+    size_t n, const std::vector<Edge>& initial, uint32_t num_shards,
+    const FullyDynamicSpannerConfig& cfg, ShardedConfig scfg) {
+  if (num_shards == 0) num_shards = 1;
+  auto router = std::make_unique<VertexRangeRouter>(n, num_shards);
+  std::vector<ShardSpec> specs(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    specs[s].kind = ShardSpec::Kind::kFullyDynamic;
+    specs[s].n = n;  // full vertex-id space; only the owned edges live here
+    specs[s].fd = cfg;
+    // Independent per-shard seed stream: shard coins must not correlate,
+    // and must not depend on the shard count of OTHER shards' streams.
+    specs[s].fd.seed = hash_combine(cfg.seed, s);
+  }
+  for (const Edge& e : initial)
+    specs[router->shard_of(0, e.key())].initial.push_back(e);
+  return std::make_unique<ShardedSpannerService>(
+      std::move(specs), std::move(router), scfg);
+}
+
+ShardedSpannerService::~ShardedSpannerService() { pool_->stop(); }
+
+void ShardedSpannerService::submit(uint32_t graph_id,
+                                   const std::vector<Edge>& insertions,
+                                   const std::vector<Edge>& deletions) {
+  const size_t S = shards_.size();
+  const size_t offered = insertions.size() + deletions.size();
+  // paused_ is re-read AFTER each enqueue: if resume() ran concurrently and
+  // its queue scan missed this batch (scan before our insert, both under
+  // the queue mutex), that same mutex ordering guarantees we observe its
+  // paused_=false store here and issue the notify ourselves — the batch
+  // can never be stranded between a submit and a resume.
+  if (S == 1) {
+    // The routers are pure in graph_id alone for the tenant decision, so
+    // one representative probe validates the whole batch.
+    if (router_->shard_of(graph_id, 0) != 0) {
+      edges_rejected_.fetch_add(offered, std::memory_order_relaxed);
+      return;
+    }
+    edges_ingested_.fetch_add(offered, std::memory_order_relaxed);
+    shards_[0]->queue.submit(insertions, deletions);
+    if (!paused_.load(std::memory_order_relaxed)) pool_->notify(0);
+    return;
+  }
+  std::vector<std::vector<Edge>> ins_by(S), del_by(S);
+  size_t rejected = 0;
+  for (const Edge& e : insertions) {
+    uint32_t s = router_->shard_of(graph_id, e.key());
+    if (s < S)
+      ins_by[s].push_back(e);
+    else
+      ++rejected;  // unknown tenant id: drop observably, never index OOB
+  }
+  for (const Edge& e : deletions) {
+    uint32_t s = router_->shard_of(graph_id, e.key());
+    if (s < S)
+      del_by[s].push_back(e);
+    else
+      ++rejected;
+  }
+  if (rejected) edges_rejected_.fetch_add(rejected, std::memory_order_relaxed);
+  edges_ingested_.fetch_add(offered - rejected, std::memory_order_relaxed);
+  for (size_t s = 0; s < S; ++s) {
+    if (ins_by[s].empty() && del_by[s].empty()) continue;
+    shards_[s]->queue.submit(ins_by[s], del_by[s]);
+    if (!paused_.load(std::memory_order_relaxed)) pool_->notify(s);
+  }
+}
+
+bool ShardedSpannerService::drain_shard(size_t s) {
+  Shard& sh = *shards_[s];
+  BatchQueue::Drained d = sh.queue.drain();
+  if (d.ticket == 0) return false;  // raced with another round: nothing left
+  if (!d.empty()) {
+    // The backend batch: deletions first, then insertions — exactly the
+    // coalesced set semantics the queue drained (DESIGN.md §9.2).
+    SpannerService::ApplyResult r = sh.service->apply(d.insertions,
+                                                      d.deletions);
+    if (cfg_.record_publishes) {
+      std::lock_guard<std::mutex> lk(sh.log_mu);
+      sh.log.push_back(PublishRecord{r.snapshot->version(),
+                                     r.snapshot->checksum(),
+                                     std::move(r.diff)});
+    }
+  }
+  const auto visible = std::chrono::steady_clock::now();
+  // Samples land before the barrier ticket: once flush() returns, every
+  // covered submit's latency is observable.
+  if (cfg_.record_latency && !d.submit_times.empty()) {
+    std::lock_guard<std::mutex> lk(lat_mu_);
+    for (const auto& [ticket, t0] : d.submit_times) {
+      (void)ticket;
+      lat_ns_.push_back(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            visible - t0)
+                            .count());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(barrier_mu_);
+    if (d.ticket > sh.published_ticket) sh.published_ticket = d.ticket;
+  }
+  barrier_cv_.notify_all();
+  return !paused_.load(std::memory_order_relaxed) && !sh.queue.empty();
+}
+
+VersionVector ShardedSpannerService::flush() {
+  const size_t S = shards_.size();
+  std::vector<uint64_t> targets(S);
+  for (size_t s = 0; s < S; ++s) targets[s] = shards_[s]->queue.last_ticket();
+  // Raise the flush demand first: it is what authorizes drains on paused
+  // queues (BatchQueue::drain's gate) before the notifies land.
+  for (size_t s = 0; s < S; ++s) shards_[s]->queue.demand(targets[s]);
+  std::vector<size_t> needs;
+  {
+    std::lock_guard<std::mutex> lk(barrier_mu_);
+    for (size_t s = 0; s < S; ++s)
+      if (shards_[s]->published_ticket < targets[s]) needs.push_back(s);
+  }
+  for (size_t s : needs) pool_->notify(s);
+  std::unique_lock<std::mutex> lk(barrier_mu_);
+  barrier_cv_.wait(lk, [&] {
+    for (size_t s = 0; s < S; ++s)
+      if (shards_[s]->published_ticket < targets[s]) return false;
+    return true;
+  });
+  lk.unlock();
+  return versions();
+}
+
+VersionVector ShardedSpannerService::versions() const {
+  VersionVector vv;
+  vv.v.reserve(shards_.size());
+  for (const auto& sh : shards_) vv.v.push_back(sh->service->version());
+  return vv;
+}
+
+ShardedView ShardedSpannerService::view() const {
+  std::vector<SpannerSnapshot::Ptr> snaps;
+  snaps.reserve(shards_.size());
+  for (const auto& sh : shards_) snaps.push_back(sh->service->snapshot());
+  return ShardedView(router_, n_, std::move(snaps));
+}
+
+void ShardedSpannerService::pause() {
+  // The service-level flag only gates notify fast paths; the authoritative
+  // gate is each queue's own (under the queue mutex, atomic with submits),
+  // so a drain already notified or in flight cannot take batches submitted
+  // after pause() returns — the §9.4 round boundary is exact.
+  paused_.store(true, std::memory_order_relaxed);
+  for (auto& sh : shards_) sh->queue.set_paused(true);
+}
+
+void ShardedSpannerService::resume() {
+  for (auto& sh : shards_) sh->queue.set_paused(false);
+  paused_.store(false, std::memory_order_relaxed);
+  for (size_t s = 0; s < shards_.size(); ++s)
+    if (!shards_[s]->queue.empty()) pool_->notify(s);
+}
+
+std::vector<PublishRecord> ShardedSpannerService::publish_log(size_t s) const {
+  std::lock_guard<std::mutex> lk(shards_[s]->log_mu);
+  return shards_[s]->log;
+}
+
+std::vector<int64_t> ShardedSpannerService::latency_samples_ns() const {
+  std::lock_guard<std::mutex> lk(lat_mu_);
+  return lat_ns_;
+}
+
+}  // namespace parspan

@@ -1,0 +1,589 @@
+// Sharded-service tests (DESIGN.md §9): queue coalescing semantics, the
+// determinism contract through the async ingestion path (per-shard diffs
+// and checksums byte-identical across writer counts), flush()
+// read-your-writes under concurrent readers, cross-shard BFS against the
+// unsharded union-graph reference, tenant isolation, and tiny-shard pins.
+//
+// The isolated-pair trick: tests that need to observe GRAPH membership
+// through the spanner reserve vertices with no other incident edges — an
+// edge between two isolated vertices is its endpoints' only connection, so
+// it is in the spanner iff it is in the graph, and distance()==1 /
+// kSnapshotUnreached witness presence/absence without depending on which
+// edges the spanner algorithm happened to keep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "parallel/worker_pool.hpp"
+#include "service/batch_queue.hpp"
+#include "service/sharded_service.hpp"
+
+namespace parspan {
+namespace {
+
+std::vector<EdgeKey> diff_keys(const std::vector<Edge>& side) {
+  std::vector<EdgeKey> out;
+  out.reserve(side.size());
+  for (const Edge& e : side) out.push_back(e.key());
+  return out;
+}
+
+// --- BatchQueue unit semantics. --------------------------------------------
+
+TEST(BatchQueue, CoalescingStateMachine) {
+  BatchQueue q(64);
+  const Edge e(3, 7), f(1, 2);
+
+  // insert+delete cancels: only the (no-op-if-absent) delete survives, so
+  // the backend batch nets to nothing for a fresh edge.
+  q.submit({e}, {});
+  q.submit({}, {e});
+  auto d = q.drain();
+  EXPECT_TRUE(d.insertions.empty());
+  ASSERT_EQ(d.deletions.size(), 1u);
+  EXPECT_EQ(d.deletions[0].key(), e.key());
+  EXPECT_EQ(d.ticket, 2u);
+  EXPECT_TRUE(q.empty());
+
+  // delete-then-insert: the re-insert survives, drained as delete+insert
+  // of the same key (the backend's deletions-first order refreshes it).
+  q.submit({}, {e});
+  q.submit({e}, {});
+  d = q.drain();
+  ASSERT_EQ(d.deletions.size(), 1u);
+  ASSERT_EQ(d.insertions.size(), 1u);
+  EXPECT_EQ(d.deletions[0].key(), e.key());
+  EXPECT_EQ(d.insertions[0].key(), e.key());
+
+  // delete-insert-delete collapses back to one delete.
+  q.submit({}, {e});
+  q.submit({e}, {});
+  q.submit({}, {e});
+  d = q.drain();
+  ASSERT_EQ(d.deletions.size(), 1u);
+  EXPECT_TRUE(d.insertions.empty());
+
+  // Duplicate inserts coalesce; drained sides come out key-sorted.
+  q.submit({e, e, f}, {});
+  q.submit({e}, {});
+  d = q.drain();
+  ASSERT_EQ(d.insertions.size(), 2u);
+  EXPECT_EQ(d.insertions[0].key(), f.key());  // (1,2) < (3,7)
+  EXPECT_EQ(d.insertions[1].key(), e.key());
+  EXPECT_TRUE(d.deletions.empty());
+
+  // An empty queue drains to a zero ticket exactly once per quiescence.
+  d = q.drain();
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.ticket, 0u);
+
+  // Empty submits still take tickets (flush-after-noop stays defined).
+  uint64_t t = q.submit({}, {});
+  d = q.drain();
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.ticket, t);
+}
+
+TEST(BatchQueue, BackpressureBlocksAndDrainsReleases) {
+  BatchQueue q(4);
+  q.submit({Edge(0, 1), Edge(0, 2), Edge(0, 3), Edge(0, 4)}, {});
+  ASSERT_EQ(q.pending_keys(), 4u);
+
+  std::atomic<bool> submitted{false};
+  std::thread t([&] {
+    q.submit({Edge(0, 5)}, {});  // blocks: queue is at capacity
+    submitted.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(submitted.load(std::memory_order_acquire));
+
+  auto d = q.drain();
+  EXPECT_EQ(d.insertions.size(), 4u);
+  t.join();
+  EXPECT_TRUE(submitted.load(std::memory_order_acquire));
+  EXPECT_EQ(q.pending_keys(), 1u);
+  q.drain();
+}
+
+TEST(BatchQueue, PausedGateAdmitsOnlyDemandedDrains) {
+  BatchQueue q(16, false, /*start_paused=*/true);
+  const Edge e(1, 2);
+  uint64_t t1 = q.submit({e}, {});
+
+  // Paused, no demand: a drain (e.g. a straggler writer) takes nothing.
+  auto d = q.drain();
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.ticket, 0u);
+  EXPECT_EQ(q.pending_keys(), 1u);
+
+  // A flush demand authorizes exactly the pending round.
+  q.demand(t1);
+  d = q.drain();
+  ASSERT_EQ(d.insertions.size(), 1u);
+  EXPECT_EQ(d.ticket, t1);
+
+  // Demand satisfied: the next round stays parked again...
+  q.submit({}, {e});
+  EXPECT_TRUE(q.drain().empty());
+  EXPECT_EQ(q.pending_keys(), 1u);
+
+  // ...until unpaused, when drains flow freely.
+  q.set_paused(false);
+  d = q.drain();
+  ASSERT_EQ(d.deletions.size(), 1u);
+}
+
+// --- WorkerPool unit semantics. --------------------------------------------
+
+TEST(WorkerPool, SlotExclusivityAndNoLostWakeups) {
+  const size_t slots = 5;
+  std::vector<std::atomic<int>> pending(slots);
+  std::vector<std::atomic<int>> running(slots);
+  std::atomic<uint64_t> drained{0};
+  for (auto& p : pending) p.store(0);
+  for (auto& r : running) r.store(0);
+
+  WorkerPool pool(4, slots, [&](size_t s) {
+    // Per-slot exclusivity: never two drains of one slot at once.
+    EXPECT_EQ(running[s].fetch_add(1), 0);
+    int took = pending[s].exchange(0);
+    drained.fetch_add(uint64_t(took));
+    running[s].fetch_sub(1);
+    return pending[s].load() > 0;
+  });
+
+  const int per_thread = 200;
+  std::vector<std::thread> producers;
+  std::atomic<uint64_t> produced{0};
+  for (int t = 0; t < 3; ++t) {
+    producers.emplace_back([&, t] {
+      uint64_t x = uint64_t(t) + 99;
+      for (int i = 0; i < per_thread; ++i) {
+        x = splitmix64(x);
+        size_t s = size_t(x % slots);
+        pending[s].fetch_add(1);
+        produced.fetch_add(1);
+        pool.notify(s);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  // Every notify lands at least one subsequent drain: the pool must reach
+  // quiescence with nothing left pending.
+  for (int spin = 0; spin < 2000 && drained.load() < produced.load(); ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(drained.load(), produced.load());
+  pool.stop();
+}
+
+// --- Determinism: per-shard diffs/checksums across writer counts. ----------
+// Paused rounds bound every drain at a flush() barrier, so batch contents
+// are a pure function of the submit stream — 1-writer and 4-writer runs
+// must publish byte-identical per-shard diff sequences and checksums
+// (DESIGN.md §9.4).
+TEST(Sharded, DiffsAndChecksumsDeterministicAcrossWriterCounts) {
+  const size_t n = 300;
+  const uint32_t shards = 4;
+  auto [initial, batches] = gen_mixed_stream(n, 3000, 90, 24, 7);
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 3;
+  cfg.seed = 11;
+
+  auto run = [&](int writers) {
+    ShardedConfig sc;
+    sc.num_writers = writers;
+    sc.record_publishes = true;
+    sc.start_paused = true;
+    auto svc =
+        ShardedSpannerService::single_graph(n, initial, shards, cfg, sc);
+    // Three submits per round: the drained batch is their coalesced union.
+    for (size_t i = 0; i + 3 <= batches.size(); i += 3) {
+      for (size_t j = i; j < i + 3; ++j)
+        svc->submit(batches[j].insertions, batches[j].deletions);
+      svc->flush();
+    }
+    std::vector<std::vector<PublishRecord>> logs;
+    for (size_t s = 0; s < shards; ++s) logs.push_back(svc->publish_log(s));
+    return logs;
+  };
+
+  auto base = run(1);
+  auto wide = run(4);
+  ASSERT_EQ(base.size(), wide.size());
+  for (size_t s = 0; s < shards; ++s) {
+    ASSERT_EQ(base[s].size(), wide[s].size()) << "shard " << s;
+    EXPECT_FALSE(base[s].empty()) << "shard " << s << " saw no publishes";
+    for (size_t i = 0; i < base[s].size(); ++i) {
+      EXPECT_EQ(base[s][i].version, wide[s][i].version) << s << "/" << i;
+      EXPECT_EQ(base[s][i].checksum, wide[s][i].checksum) << s << "/" << i;
+      EXPECT_EQ(diff_keys(base[s][i].diff.inserted),
+                diff_keys(wide[s][i].diff.inserted))
+          << s << "/" << i;
+      EXPECT_EQ(diff_keys(base[s][i].diff.removed),
+                diff_keys(wide[s][i].diff.removed))
+          << s << "/" << i;
+    }
+  }
+}
+
+// --- Coalescing end to end, via isolated pairs. ----------------------------
+TEST(Sharded, QueueCoalescingThroughTheBackend) {
+  // 48 vertices across 4 range shards (stride 12). Vertices 5 (shard 0)
+  // and 40 (shard 3) are made isolated by filtering their edges out of the
+  // initial graph, so the probe edge between them is (a) its endpoints'
+  // only connection and (b) genuinely cross-shard: owned by shard 0,
+  // stitched into shard 3's side of the BFS.
+  const size_t n = 48;
+  const Edge probe(VertexId(5), VertexId(40));
+  auto initial = gen_erdos_renyi(n, 140, 3);
+  initial.erase(std::remove_if(initial.begin(), initial.end(),
+                               [&](const Edge& e) {
+                                 return e.u == probe.u || e.v == probe.u ||
+                                        e.u == probe.v || e.v == probe.v;
+                               }),
+                initial.end());
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  cfg.seed = 5;
+  ShardedConfig sc;
+  sc.num_writers = 2;
+  sc.record_publishes = true;
+  sc.start_paused = true;
+  auto svc = ShardedSpannerService::single_graph(n, initial, 4, cfg, sc);
+  ASSERT_NE(svc->router().shard_of_vertex(probe.u),
+            svc->router().shard_of_vertex(probe.v));
+
+  // insert+delete in one round cancels: the probe pair stays disconnected
+  // and the round's published diffs are empty on every shard.
+  auto before = svc->versions();
+  svc->submit({probe}, {});
+  svc->submit({}, {probe});
+  svc->flush();
+  auto v1 = svc->view();
+  EXPECT_FALSE(v1.has_edge(probe.u, probe.v));
+  EXPECT_EQ(v1.distance(probe.u, probe.v, 10), kSnapshotUnreached);
+  for (size_t s = 0; s < svc->num_shards(); ++s)
+    for (const PublishRecord& r : svc->publish_log(s)) {
+      EXPECT_TRUE(r.diff.inserted.empty());
+      EXPECT_TRUE(r.diff.removed.empty());
+    }
+  (void)before;
+
+  // Plain insert: the only edge between two isolated vertices must be in
+  // the composed spanner.
+  svc->submit({probe}, {});
+  svc->flush();
+  auto v2 = svc->view();
+  EXPECT_TRUE(v2.has_edge(probe.u, probe.v));
+  EXPECT_EQ(v2.distance(probe.u, probe.v, 10), 1u);
+
+  // delete-then-insert in one round: the re-insert survives.
+  svc->submit({}, {probe});
+  svc->submit({probe}, {});
+  svc->flush();
+  auto v3 = svc->view();
+  EXPECT_TRUE(v3.has_edge(probe.u, probe.v));
+  EXPECT_EQ(v3.distance(probe.u, probe.v, 10), 1u);
+
+  // insert (of the now-live edge) + delete: pure cancellation would be
+  // wrong here — the delete must win.
+  svc->submit({probe}, {});
+  svc->submit({}, {probe});
+  svc->flush();
+  auto v4 = svc->view();
+  EXPECT_FALSE(v4.has_edge(probe.u, probe.v));
+  EXPECT_EQ(v4.distance(probe.u, probe.v, 10), kSnapshotUnreached);
+
+  // The pinned earlier view was immutable throughout.
+  EXPECT_TRUE(v2.has_edge(probe.u, probe.v));
+}
+
+// --- flush() read-your-writes under concurrent readers. --------------------
+TEST(Sharded, FlushReadYourWritesUnderConcurrentReaders) {
+  // 240 vertices, 4 range shards (stride 60). The churn stream lives on
+  // 200 vertices remapped to the first 50 ids of each shard's range, so
+  // ids 50..59, 110..119, 170..179, 230..239 stay isolated in EVERY
+  // shard — probe edges between reserved ids of shard 0 and shard 3 are
+  // cross-shard and immune to the churn.
+  const size_t n = 240;
+  const size_t probes = 10;
+  auto remap = [](VertexId v) { return VertexId((v / 50) * 60 + v % 50); };
+  auto remap_edges = [&](std::vector<Edge> es) {
+    for (Edge& e : es) e = Edge(remap(e.u), remap(e.v));
+    return es;
+  };
+  auto initial = remap_edges(gen_erdos_renyi(200, 1600, 13));
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 3;
+  cfg.seed = 17;
+  ShardedConfig sc;
+  sc.num_writers = 4;
+  auto svc = ShardedSpannerService::single_graph(n, initial, 4, cfg, sc);
+
+  std::atomic<bool> done{false};
+  const int R = 3;
+  std::vector<uint64_t> acquired(R, 0);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < R; ++t) {
+    readers.emplace_back([&, t] {
+      std::vector<uint64_t> last(svc->num_shards(), 0);
+      uint64_t count = 0;
+      while (!done.load(std::memory_order_acquire) || count == 0) {
+        ShardedView view = svc->view();
+        ++count;
+        for (size_t s = 0; s < view.num_shards(); ++s) {
+          // Per-shard: versions never run backwards, views never tear.
+          ASSERT_GE(view.shard(s).version(), last[s]);
+          last[s] = view.shard(s).version();
+          ASSERT_TRUE(view.shard(s).consistent());
+        }
+        VertexId v = VertexId((t * 37 + count * 11) % n);
+        for (VertexId w : view.neighbors(v)) ASSERT_TRUE(view.has_edge(v, w));
+      }
+      acquired[size_t(t)] = count;
+    });
+  }
+
+  // Writer side: background churn (never flushed mid-round) plus one
+  // isolated-pair probe per round — after flush(), the probe MUST be
+  // visible in the very next view, across all shards (read-your-writes).
+  auto [ini2, churn] = gen_mixed_stream(200, 1600, 48, probes, 29);
+  (void)ini2;
+  for (size_t i = 0; i < probes; ++i) {
+    // Reserved shard-0 id x reserved shard-3 id: cross-shard by design.
+    Edge probe(VertexId(50 + i), VertexId(230 + i));
+    ASSERT_NE(svc->router().shard_of_vertex(probe.u),
+              svc->router().shard_of_vertex(probe.v));
+    svc->submit(remap_edges(churn[i].insertions),
+                remap_edges(churn[i].deletions));
+    svc->submit({probe}, {});
+    VersionVector vv = svc->flush();
+    ShardedView view = svc->view();
+    ASSERT_TRUE(view.versions().dominates(vv)) << "round " << i;
+    ASSERT_TRUE(view.has_edge(probe.u, probe.v)) << "round " << i;
+    ASSERT_EQ(view.distance(probe.u, probe.v, 3), 1u) << "round " << i;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  for (int t = 0; t < R; ++t) EXPECT_GT(acquired[size_t(t)], 0u);
+}
+
+// --- Cross-shard BFS == single-graph BFS on the union reference. -----------
+TEST(Sharded, CrossShardBfsMatchesUnshardedReference) {
+  const size_t n = 500;
+  auto [initial, batches] = gen_mixed_stream(n, 3000, 120, 10, 41);
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 3;
+  cfg.seed = 23;
+  ShardedConfig sc;
+  sc.num_writers = 2;
+  auto svc = ShardedSpannerService::single_graph(n, initial, 4, cfg, sc);
+  for (auto& b : batches) svc->submit(b.insertions, b.deletions);
+  svc->flush();
+
+  ShardedView view = svc->view();
+  // The unsharded reference: one DynamicGraph over the composed edge set.
+  std::vector<Edge> edges = view.edges();
+  EXPECT_EQ(edges.size(), view.num_edges());
+  DynamicGraph ref(n);
+  ref.insert_edges(edges);
+
+  // neighbors(): the stitched union equals the reference adjacency.
+  for (VertexId v = 0; v < n; v += 7) {
+    auto got = view.neighbors(v);
+    auto span = ref.neighbors(v);
+    std::vector<VertexId> want(span.begin(), span.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want) << "vertex " << v;
+    for (VertexId w : got) ASSERT_TRUE(view.has_edge(v, w));
+  }
+
+  // distance(): stitched bounded BFS equals bounded_bfs on the reference,
+  // including the unreached-past-limit boundary.
+  const uint32_t L = 4;
+  for (VertexId u = 1; u < n; u += 97) {
+    std::vector<uint32_t> dist = bounded_bfs(ref, {u}, L);
+    for (VertexId v = 0; v < n; v += 13) {
+      uint32_t want = (dist[v] <= L) ? dist[v] : kSnapshotUnreached;
+      ASSERT_EQ(view.distance(u, v, L), want) << u << "->" << v;
+    }
+  }
+}
+
+// --- Multi-tenant: isolation + per-shard backend selection. ----------------
+TEST(Sharded, MultiTenantIsolationAndMixedBackends) {
+  std::vector<ShardSpec> specs(2);
+  specs[0].kind = ShardSpec::Kind::kFullyDynamic;
+  specs[0].n = 120;
+  specs[0].initial = gen_erdos_renyi(120, 700, 3);
+  specs[0].fd.k = 2;
+  specs[0].fd.seed = 5;
+  specs[1].kind = ShardSpec::Kind::kUltraSparse;
+  specs[1].n = 200;
+  specs[1].initial = gen_random_regular(200, 6, 9);
+  specs[1].ultra.x = 2;
+  specs[1].ultra.seed = 7;
+
+  ShardedConfig sc;
+  sc.num_writers = 2;
+  ShardedSpannerService svc(std::move(specs),
+                            std::make_unique<GraphIdRouter>(2), sc);
+
+  // Tenant 0 churns; tenant 1 must not publish a single version.
+  auto [ini, batches] = gen_mixed_stream(120, 700, 40, 6, 15);
+  (void)ini;
+  for (auto& b : batches) svc.submit(0, b.insertions, b.deletions);
+  VersionVector vv = svc.flush();
+  ASSERT_EQ(vv.v.size(), 2u);
+  EXPECT_GT(vv.v[0], 0u);
+  EXPECT_EQ(vv.v[1], 0u);
+
+  // Tenant 1 (ultra-sparse backend) ingests through the same path.
+  svc.submit(1, {Edge(0, 1), Edge(1, 2)}, {});
+  VersionVector vv2 = svc.flush();
+  EXPECT_GT(vv2.v[1], 0u);
+  EXPECT_TRUE(vv2.dominates(vv));
+
+  ShardedView view = svc.view();
+  EXPECT_TRUE(view.graph(0).consistent());
+  EXPECT_TRUE(view.graph(1).consistent());
+  EXPECT_EQ(view.graph(1).version(), vv2.v[1]);
+
+  // An unknown tenant id is rejected observably — never applied anywhere,
+  // never out-of-bounds (client ids are data, not invariants).
+  const uint64_t ingested = svc.edges_ingested();
+  svc.submit(7, {Edge(0, 1)}, {Edge(1, 2)});
+  VersionVector vv3 = svc.flush();
+  EXPECT_EQ(svc.edges_rejected(), 2u);
+  EXPECT_EQ(svc.edges_ingested(), ingested);
+  EXPECT_EQ(vv3.v, vv2.v);  // no shard published for the rejected batch
+}
+
+// --- Tiny shards: n = 0 / n = 1 per shard, more shards than vertices. ------
+TEST(Sharded, TinyShardEdgeCases) {
+  // Multi-tenant with empty and single-vertex graphs.
+  {
+    std::vector<ShardSpec> specs(3);
+    specs[0].n = 0;
+    specs[1].n = 1;
+    specs[2].n = 5;
+    specs[2].initial = {Edge(0, 1), Edge(1, 2)};
+    for (auto& s : specs) s.fd.k = 2;
+    ShardedSpannerService svc(std::move(specs),
+                              std::make_unique<GraphIdRouter>(3),
+                              ShardedConfig{});
+    svc.submit(2, {Edge(2, 3)}, {});
+    svc.submit(0, {}, {});  // empty batch to the empty graph
+    svc.submit(1, {}, {});
+    VersionVector vv = svc.flush();
+    ShardedView view = svc.view();
+    EXPECT_TRUE(view.versions().dominates(vv));
+    EXPECT_EQ(view.graph(0).num_edges(), 0u);
+    EXPECT_EQ(view.graph(1).num_edges(), 0u);
+    EXPECT_FALSE(view.graph(1).has_edge(0, 0));
+    EXPECT_TRUE(view.graph(2).has_edge(2, 3));
+  }
+  // Single-graph: n = 3 under 4 shards (one shard owns no vertex range),
+  // i.e. at most one vertex per shard.
+  {
+    FullyDynamicSpannerConfig cfg;
+    cfg.k = 2;
+    auto svc = ShardedSpannerService::single_graph(3, {Edge(0, 1)}, 4, cfg,
+                                                   ShardedConfig{});
+    svc->submit({Edge(1, 2)}, {});
+    svc->flush();
+    ShardedView view = svc->view();
+    EXPECT_TRUE(view.has_edge(0, 1));
+    EXPECT_TRUE(view.has_edge(1, 2));
+    EXPECT_EQ(view.distance(0, 2, 4), 2u);
+    EXPECT_EQ(view.neighbors(1), (std::vector<VertexId>{0, 2}));
+    svc->submit({}, {Edge(0, 1)});
+    svc->flush();
+    EXPECT_FALSE(svc->view().has_edge(0, 1));
+  }
+  // Degenerate single shard still composes.
+  {
+    FullyDynamicSpannerConfig cfg;
+    cfg.k = 2;
+    auto svc = ShardedSpannerService::single_graph(
+        10, gen_cycle(10), 1, cfg, ShardedConfig{});
+    svc->flush();
+    EXPECT_EQ(svc->view().distance(0, 5, 10), 5u);
+  }
+}
+
+// --- pause() after free-running bounds the next round exactly. -------------
+TEST(Sharded, PauseAfterFreeRunningParksSubmits) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  ShardedConfig sc;
+  sc.num_writers = 2;
+  auto svc = ShardedSpannerService::single_graph(
+      20, gen_erdos_renyi(16, 40, 3), 2, cfg, sc);
+  // Free-running warm-up: slots cycle through notify/drain.
+  svc->submit({Edge(0, 9)}, {});
+  svc->flush();
+  VersionVector before = svc->versions();
+
+  // pause() then submit: the queue-level gate guarantees no drain —
+  // straggler or otherwise — takes this round before flush() demands it.
+  svc->pause();
+  const Edge probe(VertexId(17), VertexId(18));
+  svc->submit({probe}, {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(svc->versions().v, before.v);
+  EXPECT_FALSE(svc->view().has_edge(probe.u, probe.v));
+
+  VersionVector after = svc->flush();  // drains exactly the parked round
+  EXPECT_TRUE(after.dominates(before));
+  EXPECT_TRUE(svc->view().has_edge(probe.u, probe.v));
+}
+
+// --- resume() alone must drain work queued while paused. -------------------
+TEST(Sharded, ResumeDrainsPendingWithoutFlush) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  ShardedConfig sc;
+  sc.start_paused = true;
+  auto svc = ShardedSpannerService::single_graph(
+      20, gen_erdos_renyi(16, 40, 3), 2, cfg, sc);
+  const Edge probe(VertexId(17), VertexId(18));  // isolated pair
+  svc->submit({probe}, {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(svc->versions().v, (std::vector<uint64_t>{0, 0}));  // still paused
+
+  svc->resume();  // no flush: resume's own notify must drain the queue
+  for (int spin = 0; spin < 2000 && !svc->view().has_edge(probe.u, probe.v);
+       ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(svc->view().has_edge(probe.u, probe.v));
+}
+
+// --- Ingest-to-visible latency instrumentation sanity. ---------------------
+TEST(Sharded, LatencySamplesRecorded) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  ShardedConfig sc;
+  sc.record_latency = true;
+  auto svc = ShardedSpannerService::single_graph(
+      40, gen_erdos_renyi(40, 100, 3), 2, cfg, sc);
+  const size_t rounds = 5;
+  for (size_t i = 0; i < rounds; ++i) {
+    svc->submit({Edge(VertexId(i), VertexId(i + 20))}, {});
+    svc->flush();
+  }
+  auto samples = svc->latency_samples_ns();
+  ASSERT_GE(samples.size(), rounds);  // >= one sample per submit
+  for (int64_t ns : samples) EXPECT_GE(ns, 0);
+  EXPECT_GE(svc->edges_ingested(), rounds);
+}
+
+}  // namespace
+}  // namespace parspan

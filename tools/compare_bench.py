@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench-smoke run against the checked-in BENCH_*.json medians.
+
+The repo root carries one BENCH_*.json per bench family, written by
+bench/run_benches.sh as {binary_name: <google-benchmark json doc>, ...} —
+the perf trajectory tracked across PRs. The CI bench-smoke job runs every
+bench binary with a tiny --benchmark_min_time and feeds the per-binary JSON
+files here; this script prints a per-benchmark delta table (GitHub-flavored
+markdown, appended to the job summary) and flags regressions above the
+threshold.
+
+Deltas are advisory on shared CI runners (noisy neighbors, tiny sampling
+windows): a flagged row is a prompt to rerun bench/run_benches.sh on a quiet
+host, not a merge blocker — the script always exits 0 unless its inputs are
+structurally broken. Benchmarks whose names don't appear in the baselines
+(e.g. tiny-size runs that change the workload, or newly added benches) are
+counted but not compared; binaries listed via --skip are excluded entirely
+(bench_service/bench_sharded run at PARSPAN_BENCH_TINY sizes in CI, which
+reuses full-size benchmark names on a different workload — a delta would be
+meaningless).
+
+Usage:
+  tools/compare_bench.py --baseline-dir . --fresh-dir bench-smoke-out \
+      [--threshold 0.25] [--skip bench_service bench_sharded ...]
+"""
+
+import argparse
+import glob
+import json
+import os
+import statistics
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_baselines(baseline_dir):
+    """name -> {benchmark_name -> median real_time in ns} per bench binary."""
+    out = {}
+    for path in sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))):
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: unreadable baseline {path}: {e}", file=sys.stderr)
+            raise SystemExit(2)
+        for binary, sub in doc.items():
+            out.setdefault(binary, {}).update(extract_medians(sub))
+    return out
+
+
+def extract_medians(doc):
+    """benchmark name -> median real_time (ns) from one google-benchmark doc."""
+    samples = {}
+    for b in doc.get("benchmarks", []):
+        # Prefer explicit median aggregates when a run used repetitions.
+        if b.get("aggregate_name") not in (None, "median"):
+            continue
+        name = b.get("run_name", b["name"])
+        ns = float(b["real_time"]) * TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        samples.setdefault(name, []).append(ns)
+    return {name: statistics.median(v) for name, v in samples.items()}
+
+
+def fmt_ms(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default=".")
+    ap.add_argument("--fresh-dir", required=True,
+                    help="directory of <bench_binary>.json smoke outputs")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="warn above this relative slowdown (default 0.25)")
+    ap.add_argument("--skip", nargs="*", default=[],
+                    help="bench binaries to exclude from comparison")
+    args = ap.parse_args()
+
+    baselines = load_baselines(args.baseline_dir)
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    fresh_files = sorted(glob.glob(os.path.join(args.fresh_dir, "*.json")))
+    if not fresh_files:
+        print(f"error: no fresh smoke JSON in {args.fresh_dir}", file=sys.stderr)
+        return 2
+
+    rows = []
+    uncompared = 0
+    skipped_binaries = []
+    for path in fresh_files:
+        binary = os.path.splitext(os.path.basename(path))[0]
+        if binary in args.skip:
+            skipped_binaries.append(binary)
+            continue
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: unreadable smoke output {path}: {e}", file=sys.stderr)
+            return 2
+        fresh = extract_medians(doc)
+        base = baselines.get(binary, {})
+        for name, ns in sorted(fresh.items()):
+            if name in base:
+                rows.append((binary, name, base[name], ns))
+            else:
+                uncompared += 1
+
+    print("## Bench smoke vs checked-in medians")
+    print()
+    print(f"Threshold: warn above **{args.threshold:+.0%}** — advisory on "
+          "shared runners, never a merge blocker.")
+    print()
+    print("| binary | benchmark | baseline | smoke | delta | |")
+    print("|---|---|---:|---:|---:|---|")
+    warned = 0
+    for binary, name, base_ns, fresh_ns in rows:
+        delta = (fresh_ns - base_ns) / base_ns
+        flag = ""
+        if delta > args.threshold:
+            flag = "⚠️ slower"
+            warned += 1
+        elif delta < -args.threshold:
+            flag = "🟢 faster"
+        print(f"| {binary} | `{name}` | {fmt_ms(base_ns)} | {fmt_ms(fresh_ns)} "
+              f"| {delta:+.1%} | {flag} |")
+    print()
+    notes = [f"{len(rows)} compared", f"{uncompared} without a baseline match"]
+    if skipped_binaries:
+        notes.append("skipped (tiny-size workloads): "
+                     + ", ".join(skipped_binaries))
+    print("_" + "; ".join(notes) + "._")
+    if warned:
+        print(f"\n**{warned} benchmark(s) regressed past the threshold** — "
+              "rerun `bench/run_benches.sh` on a quiet host to confirm.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
