@@ -10,6 +10,9 @@
 #   BENCH_sharded.json     — sharded ingestion: shard-count x writer-count
 #                            sweep (aggregate throughput) + p50/p99
 #                            ingest-to-visible latency at fixed offered load
+#   BENCH_wal.json         — durability: saturated-ingest overhead of the
+#                            WAL fsync policies vs WAL-off, and
+#                            recovery-time vs log-length curve
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: ./build)
 #
@@ -103,3 +106,17 @@ echo "== sharded ingestion benches (shard x writer sweep) =="
 merge "$tmpdir/bench_sharded.tmp.json" \
   >"$repo_root/BENCH_sharded.json"
 echo "wrote $repo_root/BENCH_sharded.json"
+
+echo "== wal durability benches (fsync-policy overhead + recovery curve) =="
+# fdatasync latency on the shared virtio disk has a multi-ms p90 that can
+# land on any one policy's run: interleave repetitions and keep only the
+# aggregate rows (the *_median entries are what compare_bench.py gates on).
+"$build_dir/bench_wal" \
+  --benchmark_format=json \
+  --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_enable_random_interleaving=true \
+  >"$tmpdir/bench_wal.tmp.json"
+merge "$tmpdir/bench_wal.tmp.json" \
+  >"$repo_root/BENCH_wal.json"
+echo "wrote $repo_root/BENCH_wal.json"

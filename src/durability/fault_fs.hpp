@@ -1,0 +1,277 @@
+// MemFs: an in-memory Fs with precise crash semantics, the substrate of the
+// fault-injection recovery harness (DESIGN.md §10.6).
+//
+// Every file is two byte ranges: `durable` (survives any crash — the bytes
+// an fsync has covered) and an unsynced `tail` (appended but not yet
+// synced — what real hardware may or may not have persisted when power
+// dies). The harness schedules a crash at the K-th mutating operation:
+// that operation fails (possibly after partially applying — a short
+// write), and every later operation fails too, which is exactly how the
+// durability layer experiences a dying disk (its sticky-failure model,
+// DESIGN.md §10.5). crash_and_restart() then "reboots": per file, the
+// unsynced tail survives as a *caller-chosen random prefix* (modeling
+// partial page writeback — the torn tail), optionally with a bit flipped
+// at a random offset (modeling torn-sector garbage), and I/O works again.
+//
+// This turns "kill -9 the process at an arbitrary instruction" into a
+// deterministic, in-process sweep: hundreds of crash points per second,
+// each yielding a byte-exact post-crash disk image to recover from, with
+// the pre-crash run's publish history available in the same address space
+// as the correctness oracle.
+//
+// Thread safety: all operations lock one mutex — the writer pool's shards
+// append concurrently through the same MemFs in the sharded tests.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "durability/fs.hpp"
+#include "util/rng.hpp"
+
+namespace parspan {
+
+/// How much of each file's unsynced tail survives a crash_and_restart().
+enum class CrashTail {
+  kLoseAll,     // strict power-fail: nothing unsynced survives
+  kKeepPrefix,  // a random prefix per file survives (partial writeback)
+  kKeepAll,     // everything reached the disk just in time
+};
+
+class MemFs final : public Fs {
+ public:
+  MemFs() = default;
+
+  /// Schedules a crash at the `op`-th mutating operation from now
+  /// (1-based): that operation fails — an append applies a random prefix
+  /// first (short write) — and all later operations fail until
+  /// crash_and_restart(). 0 cancels.
+  void crash_at_op(uint64_t op) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ops_ = 0;
+    crash_at_ = op;
+    crashed_ = false;
+  }
+
+  /// Makes the `op`-th mutating operation fail (appends apply a short
+  /// write) WITHOUT crashing the filesystem — later operations succeed.
+  /// Models a transient I/O error; the durability layer must go sticky-
+  /// failed on its own.
+  void fail_at_op(uint64_t op) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ops_ = 0;
+    fail_at_ = op;
+  }
+
+  bool crashed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return crashed_;
+  }
+
+  /// Mutating operations performed since the last schedule reset — run a
+  /// workload once to learn the op budget, then sweep crash points in it.
+  uint64_t ops() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ops_;
+  }
+
+  /// "Reboots" after a crash (or just simulates one now): per file the
+  /// unsynced tail is resolved per `tail` policy using `rng`, and with
+  /// probability `bit_flip_p` one surviving unsynced byte gets a flipped
+  /// bit. I/O works again afterwards; open FsFile handles from before the
+  /// crash stay dead (their appends keep failing).
+  void crash_and_restart(CrashTail tail, Rng& rng, double bit_flip_p = 0.0) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++epoch_;
+    for (auto& [path, f] : files_) {
+      size_t keep = 0;
+      switch (tail) {
+        case CrashTail::kLoseAll: keep = 0; break;
+        case CrashTail::kKeepPrefix:
+          keep = f.tail.empty()
+                     ? 0
+                     : static_cast<size_t>(rng.next_below(f.tail.size() + 1));
+          break;
+        case CrashTail::kKeepAll: keep = f.tail.size(); break;
+      }
+      if (keep > 0 && bit_flip_p > 0.0 && rng.next_bool(bit_flip_p)) {
+        size_t at = static_cast<size_t>(rng.next_below(keep));
+        f.tail[at] ^= static_cast<uint8_t>(1u << rng.next_below(8));
+      }
+      f.durable.insert(f.durable.end(), f.tail.begin(), f.tail.begin() + keep);
+      f.tail.clear();
+    }
+    crashed_ = false;
+    crash_at_ = 0;
+    fail_at_ = 0;
+    ops_ = 0;
+  }
+
+  /// Flips one bit of the DURABLE image of `path` at `offset` — corruption
+  /// that an fsync already "guaranteed", i.e. silent media rot. Recovery
+  /// must refuse to replay the affected frame.
+  bool corrupt_durable(const std::string& path, size_t offset, uint8_t bit) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end() || offset >= it->second.durable.size())
+      return false;
+    it->second.durable[offset] ^= static_cast<uint8_t>(1u << (bit & 7));
+    return true;
+  }
+
+  /// Durable size of `path` (0 when missing) — lets tests aim corruption.
+  size_t durable_size(const std::string& path) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = files_.find(path);
+    return it == files_.end() ? 0 : it->second.durable.size();
+  }
+
+  // --- Fs interface ---------------------------------------------------------
+
+  std::unique_ptr<FsFile> create(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!mutate_allowed()) return nullptr;
+    MemFile& f = files_[path];
+    f.durable.clear();
+    f.tail.clear();
+    return std::make_unique<Handle>(this, path, epoch_);
+  }
+
+  bool read_file(const std::string& path, std::vector<uint8_t>* out) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return false;
+    // Reads see everything written (durable + tail): the OS page cache
+    // serves unsynced data to a live process; only a crash loses it.
+    out->assign(it->second.durable.begin(), it->second.durable.end());
+    out->insert(out->end(), it->second.tail.begin(), it->second.tail.end());
+    return true;
+  }
+
+  bool rename(const std::string& from, const std::string& to) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!mutate_allowed()) return false;
+    auto it = files_.find(from);
+    if (it == files_.end()) return false;
+    // Modeled as atomic + immediately durable (PosixFs syncs the parent
+    // directory). Crash points still land before/after via the op budget.
+    MemFile f = std::move(it->second);
+    f.durable.insert(f.durable.end(), f.tail.begin(), f.tail.end());
+    f.tail.clear();
+    files_.erase(it);
+    files_[to] = std::move(f);
+    return true;
+  }
+
+  bool remove(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!mutate_allowed()) return false;
+    return files_.erase(path) > 0;
+  }
+
+  bool mkdirs(const std::string&) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return mutate_allowed();  // directories are implicit in the path map
+  }
+
+  std::vector<std::string> list(const std::string& dir) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::string> out;
+    std::string prefix = dir;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    for (const auto& [path, f] : files_) {
+      if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0)
+        continue;
+      std::string rest = path.substr(prefix.size());
+      if (rest.find('/') == std::string::npos) out.push_back(std::move(rest));
+    }
+    return out;  // map iteration is already sorted
+  }
+
+ private:
+  struct MemFile {
+    std::vector<uint8_t> durable;  // covered by a sync
+    std::vector<uint8_t> tail;     // written, not yet synced
+  };
+
+  class Handle final : public FsFile {
+   public:
+    Handle(MemFs* fs, std::string path, uint64_t epoch)
+        : fs_(fs), path_(std::move(path)), epoch_(epoch) {}
+
+    bool append(const void* data, size_t len) override {
+      std::lock_guard<std::mutex> lk(fs_->mu_);
+      if (epoch_ != fs_->epoch_) return false;  // handle from before a crash
+      auto it = fs_->files_.find(path_);
+      if (it == fs_->files_.end()) return false;
+      const uint8_t* p = static_cast<const uint8_t*>(data);
+      uint64_t op = ++fs_->ops_;
+      bool crash = fs_->crash_at_ != 0 && op >= fs_->crash_at_;
+      bool fail = fs_->fail_at_ != 0 && op == fs_->fail_at_;
+      if (fs_->crashed_ || crash || fail) {
+        if (!fs_->crashed_ && len > 0) {
+          // Short write: a prefix reaches the page cache before the fault.
+          size_t part = static_cast<size_t>(fs_->fault_rng_.next_below(len));
+          it->second.tail.insert(it->second.tail.end(), p, p + part);
+        }
+        if (crash) fs_->crashed_ = true;
+        return false;
+      }
+      it->second.tail.insert(it->second.tail.end(), p, p + len);
+      return true;
+    }
+
+    bool sync() override {
+      std::lock_guard<std::mutex> lk(fs_->mu_);
+      if (epoch_ != fs_->epoch_) return false;
+      auto it = fs_->files_.find(path_);
+      if (it == fs_->files_.end()) return false;
+      uint64_t op = ++fs_->ops_;
+      bool crash = fs_->crash_at_ != 0 && op >= fs_->crash_at_;
+      bool fail = fs_->fail_at_ != 0 && op == fs_->fail_at_;
+      if (fs_->crashed_ || crash || fail) {
+        // A failed fsync promises nothing: the tail stays volatile.
+        if (crash) fs_->crashed_ = true;
+        return false;
+      }
+      auto& f = it->second;
+      f.durable.insert(f.durable.end(), f.tail.begin(), f.tail.end());
+      f.tail.clear();
+      return true;
+    }
+
+   private:
+    MemFs* fs_;
+    std::string path_;
+    uint64_t epoch_;
+  };
+
+  // Caller must hold mu_. Counts the op; applies crash/fail scheduling for
+  // non-append mutations (create/rename/remove/mkdirs — all-or-nothing).
+  bool mutate_allowed() {
+    if (crashed_) return false;
+    uint64_t op = ++ops_;
+    if (crash_at_ != 0 && op >= crash_at_) {
+      crashed_ = true;
+      return false;
+    }
+    if (fail_at_ != 0 && op == fail_at_) return false;
+    return true;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, MemFile> files_;
+  uint64_t ops_ = 0;
+  uint64_t crash_at_ = 0;
+  uint64_t fail_at_ = 0;
+  bool crashed_ = false;
+  uint64_t epoch_ = 0;  // bumped per restart; stale handles fail
+  Rng fault_rng_{0x5eedf00dULL};  // short-write split points
+};
+
+}  // namespace parspan

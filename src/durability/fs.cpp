@@ -1,0 +1,133 @@
+#include "durability/fs.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+namespace parspan {
+
+namespace {
+
+class PosixFile final : public FsFile {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool append(const void* data, size_t len) override {
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+      ssize_t w = ::write(fd_, p, len);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += w;
+      len -= static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  // fdatasync, not fsync: it persists the data and the metadata required
+  // to read it back (the size extension an append causes) while skipping
+  // timestamp-only journal commits — the classic WAL sync (what SQLite,
+  // Postgres and RocksDB use on Linux), measurably cheaper on the ingest
+  // path. File *creation* durability still holds on ext4: persisting the
+  // first appended bytes commits the journal transaction that created the
+  // file, and the checkpoint protocol additionally fsyncs the parent
+  // directory on rename.
+  bool sync() override { return ::fdatasync(fd_) == 0; }
+
+ private:
+  int fd_;
+};
+
+// Durable rename needs the parent directory synced too: the rename is a
+// directory-entry mutation, and POSIX makes no durability promise for it
+// until the directory itself is fsync'ed.
+bool sync_parent_dir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+std::unique_ptr<FsFile> PosixFs::create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return nullptr;
+  return std::make_unique<PosixFile>(fd);
+}
+
+bool PosixFs::read_file(const std::string& path, std::vector<uint8_t>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (r == 0) break;
+    out->insert(out->end(), buf, buf + r);
+  }
+  ::close(fd);
+  return true;
+}
+
+bool PosixFs::rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) return false;
+  return sync_parent_dir(to);
+}
+
+bool PosixFs::remove(const std::string& path) {
+  return ::unlink(path.c_str()) == 0;
+}
+
+bool PosixFs::mkdirs(const std::string& path) {
+  std::string cur;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') {
+      cur += path[i];
+      continue;
+    }
+    if (i < path.size()) cur += '/';
+    if (cur.empty() || cur == "/") continue;
+    if (::mkdir(cur.c_str(), 0755) != 0 && errno != EEXIST) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> PosixFs::list(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode))
+      out.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace parspan

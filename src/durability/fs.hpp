@@ -1,0 +1,67 @@
+// Filesystem seam for the durability layer (DESIGN.md §10).
+//
+// Everything the WAL and checkpoint code touches on disk goes through this
+// narrow interface so that the fault-injection harness (fault_fs.hpp) can
+// substitute an in-memory filesystem with precise crash semantics: which
+// bytes were durable (fsync'ed) vs merely written is the entire question
+// crash recovery answers, so the seam models exactly that distinction —
+// append (reaches the OS), sync (reaches the platter), and the atomic
+// rename that commits a checkpoint.
+//
+// Error model: every operation reports failure by return value instead of
+// throwing. The durability layer treats any failure as sticky (the shard
+// keeps serving in memory but stops claiming durability — DESIGN.md §10.5),
+// so callers never retry through this interface; the fault harness relies
+// on that to model "crashed" as "all subsequent I/O fails".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parspan {
+
+/// An open append-only file. Writes become durable only after sync().
+class FsFile {
+ public:
+  virtual ~FsFile() = default;
+  /// Appends `len` bytes; false on any short or failed write (the file's
+  /// tail is then unspecified garbage — callers must stop using it).
+  virtual bool append(const void* data, size_t len) = 0;
+  /// Flushes everything appended so far to durable storage.
+  virtual bool sync() = 0;
+};
+
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Creates (truncating) `path` for appending.
+  virtual std::unique_ptr<FsFile> create(const std::string& path) = 0;
+  /// Reads the whole file; false when it does not exist or is unreadable.
+  virtual bool read_file(const std::string& path,
+                         std::vector<uint8_t>* out) = 0;
+  /// Atomically renames `from` to `to` (replacing `to`) and makes the
+  /// rename itself durable (directory sync).
+  virtual bool rename(const std::string& from, const std::string& to) = 0;
+  virtual bool remove(const std::string& path) = 0;
+  /// Creates `path` and any missing parents.
+  virtual bool mkdirs(const std::string& path) = 0;
+  /// Names (not paths) of the regular files directly under `dir`,
+  /// lexicographically sorted; empty for a missing directory.
+  virtual std::vector<std::string> list(const std::string& dir) = 0;
+};
+
+/// The real thing: POSIX files with fsync + durable rename.
+class PosixFs final : public Fs {
+ public:
+  std::unique_ptr<FsFile> create(const std::string& path) override;
+  bool read_file(const std::string& path, std::vector<uint8_t>* out) override;
+  bool rename(const std::string& from, const std::string& to) override;
+  bool remove(const std::string& path) override;
+  bool mkdirs(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir) override;
+};
+
+}  // namespace parspan

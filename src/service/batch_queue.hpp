@@ -51,6 +51,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -94,6 +95,28 @@ class BatchQueue {
       return pending_.size() < capacity_ &&
              (!record_times_ || submit_times_.size() < capacity_);
     });
+    for (const Edge& e : deletions) pending_[e.key()] = kDelete;
+    for (const Edge& e : insertions) pending_[e.key()] |= kInsert;
+    uint64_t t = ++last_ticket_;
+    if (record_times_)
+      submit_times_.emplace_back(t, std::chrono::steady_clock::now());
+    return t;
+  }
+
+  /// submit() with a deadline: waits at most `timeout` for admission
+  /// capacity, then gives up WITHOUT queuing anything (nullopt) — the
+  /// observable-backpressure path (DESIGN.md §9.5). A batch is admitted
+  /// whole or not at all; on success, the returned ticket means exactly
+  /// what submit()'s does.
+  std::optional<uint64_t> submit_for(const std::vector<Edge>& insertions,
+                                     const std::vector<Edge>& deletions,
+                                     std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    bool ok = not_full_.wait_for(lk, timeout, [this] {
+      return pending_.size() < capacity_ &&
+             (!record_times_ || submit_times_.size() < capacity_);
+    });
+    if (!ok) return std::nullopt;
     for (const Edge& e : deletions) pending_[e.key()] = kDelete;
     for (const Edge& e : insertions) pending_[e.key()] |= kInsert;
     uint64_t t = ++last_ticket_;

@@ -128,27 +128,102 @@ std::unique_ptr<SpannerService> make_shard_service(const ShardSpec& spec) {
       2 * spec.fd.k - 1);
 }
 
+std::string shard_dir(const std::string& root, size_t s) {
+  return root + "/shard-" + std::to_string(s);
+}
+
+std::vector<std::unique_ptr<SpannerService>> build_shard_services(
+    const std::vector<ShardSpec>& specs, const ShardedConfig& cfg) {
+  std::vector<std::unique_ptr<SpannerService>> services;
+  services.reserve(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    services.push_back(make_shard_service(specs[s]));
+    // A failed enable leaves the shard serving without the durability
+    // claim (durability()->failed() observable), mirroring the sticky
+    // runtime failure mode — construction does not throw on bad disks.
+    if (cfg.durability.enabled)
+      services.back()->enable_durability(
+          cfg.durability.fs, shard_dir(cfg.durability.dir, s),
+          cfg.durability.opts, specs[s].initial);
+  }
+  return services;
+}
+
+size_t max_spec_n(const std::vector<ShardSpec>& specs) {
+  size_t n = 0;
+  for (const ShardSpec& spec : specs) n = std::max(n, spec.n);
+  return n;
+}
+
 }  // namespace
+
+ShardedSpannerService::ShardedSpannerService(
+    std::vector<std::unique_ptr<SpannerService>> services,
+    std::shared_ptr<const ShardRouter> router, ShardedConfig cfg, size_t n)
+    : cfg_(std::move(cfg)), router_(std::move(router)), n_(n) {
+  assert(router_ != nullptr);
+  assert(services.size() == router_->num_shards() &&
+         "one shard service per router shard");
+  assert(!services.empty());
+  paused_.store(cfg_.start_paused, std::memory_order_relaxed);
+  shards_.reserve(services.size());
+  for (auto& svc : services)
+    shards_.push_back(std::make_unique<Shard>(std::move(svc),
+                                              cfg_.queue_capacity,
+                                              cfg_.record_latency,
+                                              cfg_.start_paused));
+  pool_ = std::make_unique<WorkerPool>(
+      cfg_.num_writers, shards_.size(),
+      [this](size_t s) { return drain_shard(s); });
+}
 
 ShardedSpannerService::ShardedSpannerService(std::vector<ShardSpec> specs,
                                              std::unique_ptr<ShardRouter> router,
                                              ShardedConfig cfg)
-    : cfg_(cfg), router_(std::move(router)) {
-  assert(router_ != nullptr);
-  assert(specs.size() == router_->num_shards() &&
-         "one ShardSpec per router shard");
-  assert(!specs.empty());
-  paused_.store(cfg_.start_paused, std::memory_order_relaxed);
-  shards_.reserve(specs.size());
-  for (const ShardSpec& spec : specs) {
-    shards_.push_back(std::make_unique<Shard>(
-        make_shard_service(spec), cfg_.queue_capacity, cfg_.record_latency,
-        cfg_.start_paused));
-    n_ = std::max(n_, spec.n);
+    : ShardedSpannerService(
+          build_shard_services(specs, cfg),
+          std::shared_ptr<const ShardRouter>(std::move(router)), cfg,
+          max_spec_n(specs)) {}
+
+std::unique_ptr<ShardedSpannerService> ShardedSpannerService::recover(
+    std::vector<ShardSpec> specs, std::unique_ptr<ShardRouter> router,
+    ShardedConfig cfg, std::vector<SpannerService::RecoveryReport>* reports) {
+  assert(cfg.durability.enabled && cfg.durability.fs != nullptr &&
+         "recover: needs the crashed service's durability fs/dir");
+  if (reports != nullptr) reports->assign(specs.size(), {});
+  std::vector<std::unique_ptr<SpannerService>> services;
+  services.reserve(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const ShardSpec& spec = specs[s];
+    SpannerService::RecoveryReport rep;
+    std::unique_ptr<SpannerService> svc;
+    if (spec.kind == ShardSpec::Kind::kUltraSparse) {
+      svc = SpannerService::recover(
+          cfg.durability.fs, shard_dir(cfg.durability.dir, s),
+          cfg.durability.opts,
+          [&spec](uint64_t n, const std::vector<Edge>& edges, uint32_t) {
+            return std::make_unique<UltraSparseSpanner>(size_t(n), edges,
+                                                        spec.ultra);
+          },
+          &rep);
+    } else {
+      svc = SpannerService::recover(
+          cfg.durability.fs, shard_dir(cfg.durability.dir, s),
+          cfg.durability.opts,
+          [&spec](uint64_t n, const std::vector<Edge>& edges, uint32_t) {
+            return std::make_unique<FullyDynamicSpanner>(size_t(n), edges,
+                                                         spec.fd);
+          },
+          &rep);
+    }
+    if (svc == nullptr) return nullptr;  // all-or-nothing across shards
+    if (reports != nullptr) (*reports)[s] = rep;
+    services.push_back(std::move(svc));
   }
-  pool_ = std::make_unique<WorkerPool>(
-      cfg_.num_writers, shards_.size(),
-      [this](size_t s) { return drain_shard(s); });
+  return std::unique_ptr<ShardedSpannerService>(new ShardedSpannerService(
+      std::move(services),
+      std::shared_ptr<const ShardRouter>(std::move(router)), std::move(cfg),
+      max_spec_n(specs)));
 }
 
 std::unique_ptr<ShardedSpannerService> ShardedSpannerService::single_graph(
@@ -218,6 +293,45 @@ void ShardedSpannerService::submit(uint32_t graph_id,
     shards_[s]->queue.submit(ins_by[s], del_by[s]);
     if (!paused_.load(std::memory_order_relaxed)) pool_->notify(s);
   }
+}
+
+ShardedSpannerService::SubmitStatus ShardedSpannerService::submit_for(
+    uint32_t graph_id, const std::vector<Edge>& insertions,
+    const std::vector<Edge>& deletions, std::chrono::nanoseconds timeout) {
+  const size_t S = shards_.size();
+  std::vector<std::vector<Edge>> ins_by(S), del_by(S);
+  size_t rejected = 0;
+  for (const Edge& e : insertions) {
+    uint32_t s = router_->shard_of(graph_id, e.key());
+    if (s < S)
+      ins_by[s].push_back(e);
+    else
+      ++rejected;
+  }
+  for (const Edge& e : deletions) {
+    uint32_t s = router_->shard_of(graph_id, e.key());
+    if (s < S)
+      del_by[s].push_back(e);
+    else
+      ++rejected;
+  }
+  if (rejected) edges_rejected_.fetch_add(rejected, std::memory_order_relaxed);
+  SubmitStatus status = SubmitStatus::kOk;
+  for (size_t s = 0; s < S; ++s) {
+    if (ins_by[s].empty() && del_by[s].empty()) continue;
+    const size_t sz = ins_by[s].size() + del_by[s].size();
+    // Each shard gets the full timeout (not a shared deadline): the common
+    // case is one owning shard, and per-shard admission is what the status
+    // reports anyway.
+    if (shards_[s]->queue.submit_for(ins_by[s], del_by[s], timeout)) {
+      edges_ingested_.fetch_add(sz, std::memory_order_relaxed);
+      if (!paused_.load(std::memory_order_relaxed)) pool_->notify(s);
+    } else {
+      edges_timed_out_.fetch_add(sz, std::memory_order_relaxed);
+      status = SubmitStatus::kTimeout;
+    }
+  }
+  return status;
 }
 
 bool ShardedSpannerService::drain_shard(size_t s) {

@@ -158,6 +158,18 @@ struct ShardSpec {
   UltraConfig ultra;             // used when kind == kUltraSparse
 };
 
+/// Per-service durability wiring (DESIGN.md §10.6). Shard i logs into
+/// `dir`/shard-<i>; all shards share one Fs and one policy.
+struct ShardedDurabilityConfig {
+  bool enabled = false;
+  /// Filesystem to log through (PosixFs in production, MemFs in the
+  /// fault-injection tests). Required when enabled.
+  std::shared_ptr<Fs> fs;
+  /// Root directory; created on demand.
+  std::string dir;
+  DurabilityOptions opts;
+};
+
 struct ShardedConfig {
   /// Writer-pool size. Writers are work-conserving: any writer drains any
   /// shard with pending work (per-shard exclusivity enforced by the pool).
@@ -176,6 +188,8 @@ struct ShardedConfig {
   bool record_publishes = false;
   /// Start with draining paused (bulk-load / deterministic-round mode).
   bool start_paused = false;
+  /// Per-shard write-ahead logging + checkpoints (DESIGN.md §10).
+  ShardedDurabilityConfig durability;
 };
 
 /// One published batch, as the determinism tests compare them.
@@ -269,6 +283,21 @@ class ShardedSpannerService {
       size_t n, const std::vector<Edge>& initial, uint32_t num_shards,
       const FullyDynamicSpannerConfig& cfg, ShardedConfig scfg = {});
 
+  /// Rebuilds a sharded service from its durability root after a crash:
+  /// every shard recovers independently (checkpoint + WAL-tail replay +
+  /// rebase epoch — SpannerService::recover), then the writer pool starts.
+  /// `specs` must be the same shard layout the crashed service was built
+  /// with (kind/n/configs; `initial` is ignored — the recovered graph
+  /// shadow replaces it). cfg.durability must be enabled and point at the
+  /// same fs/dir. nullptr when ANY shard lacks a valid checkpoint — a
+  /// sharded recovery is all-or-nothing, partial shard states would break
+  /// the single-graph composition. Per-shard reports land in `reports`
+  /// (shard order) when non-null.
+  static std::unique_ptr<ShardedSpannerService> recover(
+      std::vector<ShardSpec> specs, std::unique_ptr<ShardRouter> router,
+      ShardedConfig cfg,
+      std::vector<SpannerService::RecoveryReport>* reports = nullptr);
+
   /// Stops the writer pool. Pending (unflushed) queue contents are
   /// dropped — callers that care flush() first.
   ~ShardedSpannerService();
@@ -291,6 +320,32 @@ class ShardedSpannerService {
   void submit(const std::vector<Edge>& insertions,
               const std::vector<Edge>& deletions) {
     submit(0, insertions, deletions);
+  }
+
+  enum class SubmitStatus {
+    kOk,       // every routed sub-batch admitted
+    kTimeout,  // >= 1 shard queue stayed full past the deadline
+  };
+
+  /// submit() with a deadline: each owning shard's sub-batch waits at most
+  /// `timeout` for queue admission instead of blocking indefinitely —
+  /// observable backpressure for callers that must shed load rather than
+  /// stall (DESIGN.md §9.5). Admission is per shard: on kTimeout the
+  /// sub-batches of responsive shards WERE admitted (each sub-batch itself
+  /// is all-or-nothing), only the timed-out shards' edges were dropped —
+  /// counted in edges_timed_out(). Multi-shard callers that need
+  /// atomicity across shards must treat kTimeout as "retry the whole
+  /// batch" (resubmitting is idempotent under the queue's set semantics).
+  SubmitStatus submit_for(uint32_t graph_id,
+                          const std::vector<Edge>& insertions,
+                          const std::vector<Edge>& deletions,
+                          std::chrono::nanoseconds timeout);
+
+  /// Single-graph convenience (tenant 0).
+  SubmitStatus submit_for(const std::vector<Edge>& insertions,
+                          const std::vector<Edge>& deletions,
+                          std::chrono::nanoseconds timeout) {
+    return submit_for(0, insertions, deletions, timeout);
   }
 
   /// Read-your-writes barrier: returns once every submit that happened
@@ -348,7 +403,18 @@ class ShardedSpannerService {
     return edges_rejected_.load(std::memory_order_relaxed);
   }
 
+  /// Edge updates dropped by submit_for() deadlines (full queues that
+  /// stayed full past the timeout).
+  uint64_t edges_timed_out() const {
+    return edges_timed_out_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Shared tail of construction and recovery: wraps pre-built per-shard
+  /// services in queues and starts the writer pool.
+  ShardedSpannerService(std::vector<std::unique_ptr<SpannerService>> services,
+                        std::shared_ptr<const ShardRouter> router,
+                        ShardedConfig cfg, size_t n);
   struct Shard {
     std::unique_ptr<SpannerService> service;
     BatchQueue queue;
@@ -378,6 +444,7 @@ class ShardedSpannerService {
   std::atomic<bool> paused_{false};
   std::atomic<uint64_t> edges_ingested_{0};
   std::atomic<uint64_t> edges_rejected_{0};
+  std::atomic<uint64_t> edges_timed_out_{0};
 
   // Declared last: destroyed (joined) first, while shards_ still exist.
   std::unique_ptr<WorkerPool> pool_;

@@ -18,10 +18,55 @@ SpannerService::ApplyResult SpannerService::apply(
   // so acquire() here is the previous publish.
   SpannerSnapshot::Ptr prev = store_.acquire();
   r.snapshot = SpannerSnapshot::apply(*prev, r.diff);
+
+  // WAL-before-publish: the record covering this version hits the log (and
+  // the disk, per fsync policy) before any reader can observe the version.
+  // A sticky log failure downgrades the shard to serve-only — the publish
+  // still happens, durable_version() just stops advancing (DESIGN.md
+  // §10.2/§10.5).
+  if (dur_ != nullptr) {
+    WalRecord rec;
+    rec.type = WalRecord::kBatch;
+    rec.version = r.snapshot->version();
+    rec.checksum = r.snapshot->checksum();
+    // Canonicalize (sort + dedup) the input lists: queue-drained batches
+    // are already key-sorted (§9.2) but direct apply() callers may pass
+    // arbitrary order, and the WAL's delta encoding needs strict ascent.
+    // Set semantics make this lossless for the graph shadow.
+    auto canonical_input = [](const std::vector<Edge>& edges) {
+      std::vector<EdgeKey> keys;
+      keys.reserve(edges.size());
+      for (const Edge& e : edges) keys.push_back(edge_key(e.u, e.v));
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      return keys;
+    };
+    rec.input_deleted = canonical_input(deletions);
+    rec.input_inserted = canonical_input(insertions);
+    rec.diff_removed = diff_side_keys(r.diff.removed);
+    rec.diff_inserted = diff_side_keys(r.diff.inserted);
+    dur_->log_record(rec);
+  }
   store_.publish(r.snapshot);
+  if (dur_ != nullptr)
+    dur_->maybe_checkpoint(r.snapshot->version(), r.snapshot->checksum(),
+                           r.snapshot->edge_keys());
 
   writer_busy_.store(false, std::memory_order_release);
   return r;
+}
+
+bool SpannerService::enable_durability(std::shared_ptr<Fs> fs, std::string dir,
+                                       const DurabilityOptions& opts,
+                                       const std::vector<Edge>& graph_edges) {
+  SpannerSnapshot::Ptr snap = store_.acquire();
+  assert(snap->version() == 0 &&
+         "enable_durability: must precede the first apply()");
+  dur_ = ShardDurability::create(
+      std::move(fs), std::move(dir), opts, snap->num_vertices(),
+      snap->stretch(), snap->version(), snap->edge_keys(), snap->checksum(),
+      canonical_edge_keys(snap->num_vertices(), graph_edges));
+  return dur_ != nullptr;
 }
 
 }  // namespace parspan

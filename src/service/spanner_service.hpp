@@ -26,14 +26,18 @@
 // with apply().
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/cluster_spanner.hpp"
+#include "durability/durable_shard.hpp"
+#include "parallel/csr.hpp"
 #include "service/snapshot_store.hpp"
 #include "service/spanner_snapshot.hpp"
 #include "util/types.hpp"
@@ -62,9 +66,106 @@ class SpannerService {
 
   /// Applies one batch (deletions first, then insertions — the backend's
   /// documented semantics) and publishes the next snapshot version.
-  /// Writer thread only.
+  /// Writer thread only. With durability enabled, the batch's WAL record
+  /// is appended (and fsynced per policy) BEFORE the version becomes
+  /// visible to readers — WAL-before-publish, DESIGN.md §10.2.
   ApplyResult apply(const std::vector<Edge>& insertions,
                     const std::vector<Edge>& deletions);
+
+  /// Attaches a write-ahead log + checkpoint directory to this service
+  /// (DESIGN.md §10). Must be called before the first apply() — the
+  /// genesis checkpoint is cut from version 0. `graph_edges` is the edge
+  /// set the backend was constructed with (empty for an empty initial
+  /// graph); it seeds the graph shadow a post-crash backend is rebuilt
+  /// from. False when the directory could not be initialized (the service
+  /// still serves, without the durability claim).
+  bool enable_durability(std::shared_ptr<Fs> fs, std::string dir,
+                         const DurabilityOptions& opts,
+                         const std::vector<Edge>& graph_edges);
+
+  /// What recover() restored and republished.
+  struct RecoveryReport {
+    uint64_t restored_version = 0;   // version recovered from disk
+    uint64_t restored_checksum = 0;  // == last durably logged checksum
+    uint64_t replayed_records = 0;   // WAL records folded past the ckpt
+    bool tail_truncated = false;     // log ended in a torn/corrupt frame
+    uint64_t published_version = 0;  // the rebase epoch (restored + 1)
+  };
+
+  /// Rebuilds a service from a durability directory after a crash
+  /// (DESIGN.md §10.4): loads the newest valid checkpoint, replays the WAL
+  /// tail (each record's content checksum verified before it is applied,
+  /// torn tails truncated at the first bad frame), publishes the restored
+  /// snapshot at its exact pre-crash version/checksum, then REBASES — a
+  /// fresh backend is built from the recovered graph via `make_backend(n,
+  /// graph_edges)`, and its (generally different) spanner is published as
+  /// restored_version + 1 with the symmetric diff logged as a kRebase
+  /// record, followed by a forced checkpoint so repeated crash/recover
+  /// cycles never accumulate log. `make_backend` must also return the
+  /// stretch guarantee: it is called as make_backend(n, edges, stretch_in)
+  /// where stretch_in is the recovered stretch, and returns
+  /// std::unique_ptr<Backend>. nullptr when no valid checkpoint exists.
+  template <typename MakeBackend>
+  static std::unique_ptr<SpannerService> recover(
+      std::shared_ptr<Fs> fs, std::string dir, const DurabilityOptions& opts,
+      MakeBackend&& make_backend, RecoveryReport* report = nullptr) {
+    auto rec = ShardDurability::recover(fs, std::move(dir), opts);
+    if (!rec) return nullptr;
+
+    std::vector<Edge> graph_edges(rec->graph_keys.size());
+    for (size_t i = 0; i < rec->graph_keys.size(); ++i)
+      graph_edges[i] = edge_from_key(rec->graph_keys[i]);
+
+    auto svc = std::unique_ptr<SpannerService>(new SpannerService());
+    svc->set_backend(make_backend(rec->n, graph_edges, rec->stretch));
+
+    // Publish the EXACT pre-crash state first: readers of the restored
+    // version see byte-identical content (checksum-asserted).
+    SpannerSnapshot::Ptr restored = SpannerSnapshot::restore(
+        rec->n, rec->stretch, rec->version, std::move(rec->snap_keys));
+    assert(restored->checksum() == rec->checksum &&
+           "recover: restored snapshot checksum diverged");
+    svc->store_.publish(restored);
+
+    // Rebase epoch: the rebuilt backend's spanner is a valid spanner of
+    // the same graph but generally a different edge set. Publish it as the
+    // next version with its diff durably logged, so the WAL chain stays
+    // contiguous and a second crash recovers the rebased state.
+    svc->dur_ = std::move(rec->dur);
+    std::vector<EdgeKey> new_keys =
+        canonical_edge_keys(rec->n, svc->backend_->spanner_edges());
+    WalRecord rebase;
+    rebase.type = WalRecord::kRebase;
+    rebase.version = rec->version + 1;
+    std::set_difference(restored->edge_keys().begin(),
+                        restored->edge_keys().end(), new_keys.begin(),
+                        new_keys.end(), std::back_inserter(rebase.diff_removed));
+    std::set_difference(new_keys.begin(), new_keys.end(),
+                        restored->edge_keys().begin(),
+                        restored->edge_keys().end(),
+                        std::back_inserter(rebase.diff_inserted));
+    rebase.checksum = snapshot_content_checksum(rec->n, rec->stretch,
+                                                rebase.version, new_keys);
+    SpannerSnapshot::Ptr rebased = SpannerSnapshot::restore(
+        rec->n, rec->stretch, rebase.version, std::move(new_keys));
+    svc->dur_->log_record(rebase);
+    svc->store_.publish(rebased);
+    svc->dur_->checkpoint_now(rebased->version(), rebased->checksum(),
+                              rebased->edge_keys());
+
+    if (report != nullptr) {
+      report->restored_version = rec->version;
+      report->restored_checksum = rec->checksum;
+      report->replayed_records = rec->replayed_records;
+      report->tail_truncated = rec->tail_truncated;
+      report->published_version = rebased->version();
+    }
+    return svc;
+  }
+
+  /// The attached durability driver, or nullptr. Exposes failed() and
+  /// durable_version() — the crash sweep's recovery lower bound.
+  const ShardDurability* durability() const { return dur_.get(); }
 
   /// Pins the currently served snapshot (one pointer-copy critical
   /// section — DESIGN.md §8.1). Any thread; the returned version stays
@@ -85,6 +186,13 @@ class SpannerService {
   }
 
  private:
+  SpannerService() = default;  // recover() builds the parts by hand
+
+  template <typename Backend>
+  void set_backend(std::unique_ptr<Backend> b) {
+    backend_ = std::make_unique<Model<Backend>>(std::move(b));
+  }
+
   struct Concept {
     virtual ~Concept() = default;
     virtual SpannerDiff update(const std::vector<Edge>& ins,
@@ -109,6 +217,7 @@ class SpannerService {
 
   std::unique_ptr<Concept> backend_;
   SnapshotStore store_;
+  std::unique_ptr<ShardDurability> dur_;  // nullptr = durability off
   std::atomic<bool> writer_busy_{false};  // single-writer debug trap
 };
 

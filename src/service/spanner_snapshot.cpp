@@ -7,14 +7,16 @@
 
 namespace parspan {
 
-uint64_t SpannerSnapshot::compute_checksum(size_t n, uint32_t stretch,
-                                           uint64_t version,
-                                           std::span<const EdgeKey> keys) {
-  uint64_t h = hash_combine(uint64_t(n) << 32 | stretch, version);
+uint64_t snapshot_content_checksum(uint64_t n, uint32_t stretch,
+                                   uint64_t version,
+                                   std::span<const EdgeKey> keys) {
+  uint64_t h = hash_combine(n << 32 | stretch, version);
   // Position-dependent fold: detects reordering and truncation, not just
-  // membership changes.
+  // membership changes. The index is widened to uint64_t explicitly — the
+  // value must not depend on size_t's width (it is persisted in WAL
+  // records and checkpoints).
   for (size_t i = 0; i < keys.size(); ++i)
-    h = splitmix64(h ^ hash_combine(keys[i], i));
+    h = splitmix64(h ^ hash_combine(keys[i], uint64_t(i)));
   return h;
 }
 
@@ -27,8 +29,14 @@ SpannerSnapshot::Ptr SpannerSnapshot::finish(size_t n, uint32_t stretch,
   snap->n_ = n;
   snap->keys_ = std::move(keys);
   snap->csr_ = csr_build_from_keys(n, snap->keys_);
-  snap->checksum_ = compute_checksum(n, stretch, version, snap->keys_);
+  snap->checksum_ = snapshot_content_checksum(n, stretch, version, snap->keys_);
   return snap;
+}
+
+SpannerSnapshot::Ptr SpannerSnapshot::restore(size_t n, uint32_t stretch,
+                                              uint64_t version,
+                                              std::vector<EdgeKey> keys) {
+  return finish(n, stretch, version, std::move(keys));
 }
 
 SpannerSnapshot::Ptr SpannerSnapshot::initial(
@@ -87,7 +95,7 @@ bool SpannerSnapshot::consistent() const {
     return false;
   if (csr_.num_arcs() != 2 * keys_.size()) return false;
   if (csr_.num_vertices() != n_) return false;
-  return checksum_ == compute_checksum(n_, stretch_, version_, keys_);
+  return checksum_ == snapshot_content_checksum(n_, stretch_, version_, keys_);
 }
 
 }  // namespace parspan

@@ -32,6 +32,18 @@ namespace parspan {
 /// Hop distance exceeding the query limit (see SpannerSnapshot::distance).
 inline constexpr uint32_t kSnapshotUnreached = static_cast<uint32_t>(-1);
 
+/// The snapshot content checksum as a stable, serialization-grade function
+/// of (n, stretch, version, sorted canonical keys) — a splitmix64 fold with
+/// position-dependent key mixing (DESIGN.md §10.1). Every input is widened
+/// to a fixed-width integer before mixing, so the value is independent of
+/// the platform's size_t width and byte order: the durability layer logs it
+/// on one machine and re-derives it on whatever machine replays the WAL.
+/// The formula is FROZEN — checked-in logs and the golden-value test break
+/// if it changes.
+uint64_t snapshot_content_checksum(uint64_t n, uint32_t stretch,
+                                   uint64_t version,
+                                   std::span<const EdgeKey> keys);
+
 class SpannerSnapshot {
  public:
   using Ptr = std::shared_ptr<const SpannerSnapshot>;
@@ -43,6 +55,13 @@ class SpannerSnapshot {
 
   /// Version prev.version()+1 by applying one batch's net diff to prev.
   static Ptr apply(const SpannerSnapshot& prev, const SpannerDiff& diff);
+
+  /// Rebuilds a snapshot from recovered state: sorted-unique canonical
+  /// `keys` at an arbitrary `version` (the durability layer's recovery
+  /// path, DESIGN.md §10.4). Precondition: keys ascending, unique, in
+  /// range — recovery validates before calling.
+  static Ptr restore(size_t n, uint32_t stretch, uint64_t version,
+                     std::vector<EdgeKey> keys);
 
   uint64_t version() const { return version_; }
   uint32_t stretch() const { return stretch_; }
@@ -96,9 +115,6 @@ class SpannerSnapshot {
  private:
   SpannerSnapshot() = default;
 
-  static uint64_t compute_checksum(size_t n, uint32_t stretch,
-                                   uint64_t version,
-                                   std::span<const EdgeKey> keys);
   static Ptr finish(size_t n, uint32_t stretch, uint64_t version,
                     std::vector<EdgeKey> keys);
 

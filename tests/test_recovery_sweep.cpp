@@ -1,0 +1,370 @@
+// Randomized kill/restore differential sweep (DESIGN.md §10.6): the
+// fault-injection gate for the durability layer.
+//
+// Strategy: run a deterministic ingest workload over MemFs once to learn
+// its mutating-op budget, then re-run it with a crash scheduled at op K for
+// hundreds of K spread across the budget — every filesystem touch
+// (header write, frame append, fsync, checkpoint create/sync/rename, GC
+// remove) gets hit eventually. Each crash yields a byte-exact post-crash
+// disk image (unsynced tails resolved as lose-all / random-prefix /
+// keep-all, optionally with a flipped bit in the surviving tail); recovery
+// must then restore SOME prefix of the live run's publish history,
+// checksum-exact, and never an older version than the durable watermark
+// the writer had established (synced WAL frame or committed checkpoint).
+//
+// The oracle is the live run itself: apply() is deterministic in (backend
+// construction, batch history), so the pre-crash run's checksum-by-version
+// table says exactly what every restorable version must hash to.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fully_dynamic_spanner.hpp"
+#include "durability/durable_shard.hpp"
+#include "durability/fault_fs.hpp"
+#include "graph/generators.hpp"
+#include "service/sharded_service.hpp"
+#include "service/spanner_service.hpp"
+#include "util/rng.hpp"
+
+namespace parspan {
+namespace {
+
+// Scaled down via PARSPAN_SWEEP_TINY=1 (CI smoke lanes); the full sweep is
+// the default and what the sanitizer jobs run.
+bool tiny_sweep() {
+  const char* env = std::getenv("PARSPAN_SWEEP_TINY");
+  return env != nullptr && env[0] == '1';
+}
+
+struct Workload {
+  size_t n = 120;
+  std::vector<Edge> initial;
+  std::vector<UpdateBatch> batches;
+  FullyDynamicSpannerConfig cfg;
+};
+
+Workload make_workload(uint64_t seed) {
+  Workload w;
+  auto [initial, batches] = gen_mixed_stream(w.n, 700, 40, 12, seed);
+  w.initial = std::move(initial);
+  w.batches = std::move(batches);
+  w.cfg.k = 3;
+  w.cfg.seed = seed * 7 + 1;
+  return w;
+}
+
+std::unique_ptr<SpannerService> make_service(const Workload& w) {
+  return std::make_unique<SpannerService>(
+      std::make_unique<FullyDynamicSpanner>(w.n, w.initial, w.cfg),
+      2 * w.cfg.k - 1);
+}
+
+// Applies the whole workload with durability attached (crash faults may be
+// scheduled on `fs`); returns checksum-by-version of everything published.
+std::vector<uint64_t> run_ingest(const Workload& w, SpannerService& svc) {
+  std::vector<uint64_t> by_version{svc.snapshot()->checksum()};
+  for (const auto& b : w.batches) {
+    auto r = svc.apply(b.insertions, b.deletions);
+    by_version.push_back(r.snapshot->checksum());
+  }
+  return by_version;
+}
+
+std::unique_ptr<SpannerService> recover_service(
+    const Workload& w, std::shared_ptr<Fs> fs, const DurabilityOptions& opts,
+    SpannerService::RecoveryReport* rep) {
+  const FullyDynamicSpannerConfig cfg = w.cfg;
+  return SpannerService::recover(
+      std::move(fs), "dur", opts,
+      [cfg](uint64_t n, const std::vector<Edge>& edges, uint32_t) {
+        return std::make_unique<FullyDynamicSpanner>(size_t(n), edges, cfg);
+      },
+      rep);
+}
+
+struct SweepStats {
+  int runs = 0;
+  int recovered = 0;
+  int torn_tails = 0;
+  uint64_t replayed = 0;
+};
+
+// One crash point: ingest with a crash at `crash_op`, restart with `tail`
+// semantics, recover, check against the oracle. `media_rot` additionally
+// flips a durable bit of one WAL segment before recovery (the fsync
+// promise violated — the watermark guarantee is then off the table, but
+// checksum-exactness of whatever IS restored never is).
+void run_crash_point(const Workload& w, const std::vector<uint64_t>& oracle,
+                     const DurabilityOptions& opts, uint64_t crash_op,
+                     CrashTail tail, double bit_flip_p, bool media_rot,
+                     Rng& rng, SweepStats* stats) {
+  SCOPED_TRACE("crash_op=" + std::to_string(crash_op) +
+               " tail=" + std::to_string(int(tail)) +
+               " rot=" + std::to_string(media_rot));
+  ++stats->runs;
+  auto fs = std::make_shared<MemFs>();
+  auto svc = make_service(w);
+  fs->crash_at_op(crash_op);
+  bool enabled = svc->enable_durability(fs, "dur", opts, w.initial);
+  std::vector<uint64_t> live = run_ingest(w, *svc);
+  ASSERT_EQ(live.size(), oracle.size());
+  for (size_t v = 0; v < live.size(); ++v) ASSERT_EQ(live[v], oracle[v]);
+
+  // The writer's durable watermark, captured before "power-off": recovery
+  // must give back at least this version (unless we rot the media below).
+  const uint64_t watermark =
+      enabled ? svc->durability()->durable_version() : 0;
+  svc.reset();
+  fs->crash_and_restart(tail, rng, bit_flip_p);
+
+  if (media_rot) {
+    for (const std::string& name : fs->list("dur"))
+      if (name.rfind("wal-", 0) == 0) {
+        size_t sz = fs->durable_size("dur/" + name);
+        if (sz > 0)
+          fs->corrupt_durable("dur/" + name, size_t(rng.next_below(sz)),
+                              uint8_t(rng.next_below(8)));
+      }
+  }
+
+  SpannerService::RecoveryReport rep;
+  auto back = recover_service(w, fs, opts, &rep);
+  if (!enabled) {
+    // The crash landed inside enable_durability: there may or may not be a
+    // committed genesis checkpoint. Whatever recovers must still be exact.
+    if (back == nullptr) return;
+  }
+  ASSERT_NE(back, nullptr);
+  ++stats->recovered;
+  stats->replayed += rep.replayed_records;
+  stats->torn_tails += rep.tail_truncated;
+
+  // THE invariant: the restored state is byte-identical to what the live
+  // run published at that version — a corrupt frame never replays.
+  ASSERT_LT(rep.restored_version, oracle.size());
+  EXPECT_EQ(rep.restored_checksum, oracle[rep.restored_version]);
+  if (!media_rot) EXPECT_GE(rep.restored_version, watermark);
+  EXPECT_EQ(rep.published_version, rep.restored_version + 1);
+
+  auto snap = back->snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version(), rep.published_version);
+  EXPECT_TRUE(snap->consistent());
+
+  // Post-recovery continuation + second crash/recover: the rebase epoch's
+  // own history must be recoverable too.
+  auto [unused, more] = gen_mixed_stream(w.n, 700, 40, 2, crash_op + 1000);
+  (void)unused;
+  std::vector<uint64_t> continued{snap->checksum()};
+  for (const auto& b : more) {
+    auto r = back->apply(b.insertions, b.deletions);
+    continued.push_back(r.snapshot->checksum());
+  }
+  EXPECT_FALSE(back->durability()->failed());
+  // Even a tail-preserving crash only keeps what reached the fs: frames
+  // staged in the writer's user-space buffer are gone regardless, so the
+  // bound is the watermark, not the full continued history.
+  const uint64_t watermark2 = back->durability()->durable_version();
+  back.reset();
+  fs->crash_and_restart(CrashTail::kKeepAll, rng);
+  SpannerService::RecoveryReport rep2;
+  auto back2 = recover_service(w, fs, opts, &rep2);
+  ASSERT_NE(back2, nullptr);
+  EXPECT_GE(rep2.restored_version, watermark2);
+  ASSERT_GE(rep2.restored_version, rep.published_version);
+  ASSERT_LE(rep2.restored_version, rep.published_version + more.size());
+  EXPECT_EQ(rep2.restored_checksum,
+            continued[size_t(rep2.restored_version - rep.published_version)]);
+}
+
+// --- The main sweep: >= 200 crash points across all three policies --------
+
+TEST(RecoverySweep, CrashPointsAcrossFsyncPolicies) {
+  const int points_per_policy = tiny_sweep() ? 8 : 70;
+  Rng rng(0xC0FFEE);
+  const Workload w = make_workload(5);
+
+  struct PolicyCase {
+    FsyncPolicy policy;
+    uint32_t every_n;
+  };
+  const PolicyCase cases[] = {
+      {FsyncPolicy::kEveryRecord, 1},
+      {FsyncPolicy::kEveryN, 4},
+      // interval 0: syncs on every append — the timed path's bookkeeping
+      // under crashes without wall-clock flakiness in the sweep.
+      {FsyncPolicy::kTimed, 0},
+  };
+  SweepStats stats;
+  for (const PolicyCase& pc : cases) {
+    DurabilityOptions opts;
+    opts.fsync_policy = pc.policy;
+    opts.fsync_every_n = pc.every_n;
+    opts.fsync_interval = std::chrono::milliseconds(0);
+    opts.checkpoint_every = 5;
+    opts.keep_checkpoints = 2;
+
+    // Learn the op budget from a crash-free run.
+    uint64_t total_ops = 0;
+    std::vector<uint64_t> oracle;
+    {
+      auto fs = std::make_shared<MemFs>();
+      auto svc = make_service(w);
+      ASSERT_TRUE(svc->enable_durability(fs, "dur", opts, w.initial));
+      oracle = run_ingest(w, *svc);
+      ASSERT_FALSE(svc->durability()->failed());
+      total_ops = fs->ops();
+      ASSERT_GT(total_ops, 30u);
+    }
+
+    for (int i = 0; i < points_per_policy; ++i) {
+      // Stratified + jittered: every region of the op budget gets crash
+      // points, none twice in the same place across seeds.
+      uint64_t lo = 1 + (uint64_t(i) * total_ops) / points_per_policy;
+      uint64_t hi = 1 + (uint64_t(i + 1) * total_ops) / points_per_policy;
+      uint64_t crash_op = lo + rng.next_below(hi > lo ? hi - lo : 1);
+      CrashTail tail = static_cast<CrashTail>(rng.next_below(3));
+      double flip = tail == CrashTail::kLoseAll ? 0.0 : 0.3;
+      run_crash_point(w, oracle, opts, crash_op, tail, flip,
+                      /*media_rot=*/false, rng, &stats);
+      if (HasFatalFailure()) return;
+    }
+  }
+  // The sweep must actually exercise recovery, not vacuously skip.
+  EXPECT_GE(stats.recovered, stats.runs * 3 / 4);
+  EXPECT_GT(stats.replayed, 0u);
+  RecordProperty("runs", stats.runs);
+  RecordProperty("recovered", stats.recovered);
+  RecordProperty("torn_tails", stats.torn_tails);
+}
+
+// --- Media rot: durable bytes flip AFTER the fsync promise ----------------
+
+TEST(RecoverySweep, DurableCorruptionNeverReplaysACorruptFrame) {
+  const int points = tiny_sweep() ? 4 : 24;
+  Rng rng(0xBADD15C);
+  const Workload w = make_workload(9);
+  DurabilityOptions opts;
+  opts.checkpoint_every = 6;
+
+  uint64_t total_ops = 0;
+  std::vector<uint64_t> oracle;
+  {
+    auto fs = std::make_shared<MemFs>();
+    auto svc = make_service(w);
+    ASSERT_TRUE(svc->enable_durability(fs, "dur", opts, w.initial));
+    oracle = run_ingest(w, *svc);
+    total_ops = fs->ops();
+  }
+  SweepStats stats;
+  for (int i = 0; i < points; ++i) {
+    uint64_t crash_op = 1 + rng.next_below(total_ops);
+    run_crash_point(w, oracle, opts, crash_op, CrashTail::kKeepPrefix, 0.2,
+                    /*media_rot=*/true, rng, &stats);
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GE(stats.recovered, stats.runs / 2);
+}
+
+// --- Sharded kill/restore --------------------------------------------------
+
+// Mirrors ShardedSpannerService::single_graph's shard layout so recover()
+// rebuilds the same backends (initial edge lists are ignored by recovery —
+// the logged graph shadow replaces them).
+std::vector<ShardSpec> single_graph_specs(size_t n, uint32_t num_shards,
+                                          const FullyDynamicSpannerConfig& cfg) {
+  std::vector<ShardSpec> specs(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    specs[s].kind = ShardSpec::Kind::kFullyDynamic;
+    specs[s].n = n;
+    specs[s].fd = cfg;
+    specs[s].fd.seed = hash_combine(cfg.seed, s);
+  }
+  return specs;
+}
+
+TEST(RecoverySweep, ShardedKillRestore) {
+  const int points = tiny_sweep() ? 4 : 30;
+  const size_t n = 160;
+  const uint32_t S = 2;
+  Rng rng(0x5AAD);
+  auto [initial, batches] = gen_mixed_stream(n, 900, 60, 10, 44);
+
+  FullyDynamicSpannerConfig fd;
+  fd.k = 3;
+  fd.seed = 77;
+
+  for (int i = 0; i < points; ++i) {
+    SCOPED_TRACE("point=" + std::to_string(i));
+    auto fs = std::make_shared<MemFs>();
+    ShardedConfig cfg;
+    cfg.num_writers = 2;
+    cfg.record_publishes = true;
+    cfg.durability.enabled = true;
+    cfg.durability.fs = fs;
+    cfg.durability.dir = "root";
+    cfg.durability.opts.checkpoint_every = 4;
+
+    auto svc = ShardedSpannerService::single_graph(n, initial, S, fd, cfg);
+    // Per-shard oracle: version -> checksum, seeded with version 0.
+    std::vector<std::map<uint64_t, uint64_t>> oracle(S);
+    for (uint32_t s = 0; s < S; ++s)
+      oracle[s][0] = svc->shard_service(s).snapshot()->checksum();
+
+    // Crash somewhere inside the async ingest (after construction, so both
+    // genesis checkpoints are committed and recovery is all-or-nothing
+    // guaranteed to succeed). Worker threads interleave WAL ops on the
+    // shared MemFs nondeterministically — the crash point is therefore a
+    // *distribution*, which is the point of sweeping many of them.
+    uint64_t budget_guess = 40 + rng.next_below(60 * batches.size());
+    fs->crash_at_op(budget_guess);
+    for (const auto& b : batches) svc->submit(b.insertions, b.deletions);
+    svc->flush();
+
+    std::vector<uint64_t> watermark(S);
+    for (uint32_t s = 0; s < S; ++s) {
+      const ShardDurability* d = svc->shard_service(s).durability();
+      ASSERT_NE(d, nullptr);
+      watermark[s] = d->durable_version();
+      for (const PublishRecord& pr : svc->publish_log(s))
+        oracle[s][pr.version] = pr.checksum;
+    }
+    svc.reset();
+    fs->crash_and_restart(static_cast<CrashTail>(rng.next_below(3)), rng, 0.2);
+
+    std::vector<SpannerService::RecoveryReport> reps;
+    auto back = ShardedSpannerService::recover(
+        single_graph_specs(n, S, fd),
+        std::make_unique<VertexRangeRouter>(n, S), cfg, &reps);
+    ASSERT_NE(back, nullptr);
+    ASSERT_EQ(reps.size(), S);
+    for (uint32_t s = 0; s < S; ++s) {
+      SCOPED_TRACE("shard=" + std::to_string(s));
+      EXPECT_GE(reps[s].restored_version, watermark[s]);
+      auto it = oracle[s].find(reps[s].restored_version);
+      ASSERT_NE(it, oracle[s].end())
+          << "restored a version the live run never published";
+      EXPECT_EQ(reps[s].restored_checksum, it->second);
+      EXPECT_TRUE(back->shard_service(s).snapshot()->consistent());
+    }
+
+    // The recovered sharded service keeps working: ingest more, flush,
+    // and verify the composed view still serves.
+    auto [u2, more] = gen_mixed_stream(n, 900, 60, 2, 45 + i);
+    (void)u2;
+    for (const auto& b : more) back->submit(b.insertions, b.deletions);
+    back->flush();
+    for (uint32_t s = 0; s < S; ++s)
+      EXPECT_FALSE(back->shard_service(s).durability()->failed());
+    auto view = back->view();
+    EXPECT_GT(view.num_edges(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace parspan

@@ -19,6 +19,15 @@ counted but not compared; binaries listed via --skip are excluded entirely
 reuses full-size benchmark names on a different workload — a delta would be
 meaningless).
 
+Baselines written with --benchmark_repetitions (BENCH_wal.json) carry only
+aggregate rows; their `_median` entries compare against plain smoke rows via
+`run_name`, so repetition-aggregated and single-run documents mix freely.
+
+Exit codes: 0 = compared (regressions are advisory, never fail the job);
+2 = missing inputs (no baselines, no/unreadable smoke output);
+3 = malformed baseline (bad JSON or not a run_benches.sh document) — every
+failure is a one-line actionable message, never a traceback.
+
 Usage:
   tools/compare_bench.py --baseline-dir . --fresh-dir bench-smoke-out \
       [--threshold 0.25] [--skip bench_service bench_sharded ...]
@@ -35,17 +44,26 @@ TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_baselines(baseline_dir):
-    """name -> {benchmark_name -> median real_time in ns} per bench binary."""
+    """name -> {benchmark_name -> median real_time in ns} per bench binary.
+
+    Exits 3 with a one-line message on any baseline this script can't use:
+    a hand-edited or truncated BENCH_*.json must fail loudly, not as a
+    traceback (and not silently as an empty comparison).
+    """
     out = {}
     for path in sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))):
         try:
             with open(path) as f:
                 doc = json.load(f)
-        except (OSError, json.JSONDecodeError) as e:
-            print(f"error: unreadable baseline {path}: {e}", file=sys.stderr)
-            raise SystemExit(2)
-        for binary, sub in doc.items():
-            out.setdefault(binary, {}).update(extract_medians(sub))
+            if not isinstance(doc, dict):
+                raise ValueError("top level is not a {binary: doc} object")
+            for binary, sub in doc.items():
+                out.setdefault(binary, {}).update(extract_medians(sub))
+        except (OSError, json.JSONDecodeError, ValueError, TypeError,
+                KeyError, AttributeError) as e:
+            print(f"error: malformed baseline {path} ({e}) — regenerate it "
+                  "with bench/run_benches.sh", file=sys.stderr)
+            raise SystemExit(3)
     return out
 
 
@@ -105,10 +123,12 @@ def main():
         try:
             with open(path) as f:
                 doc = json.load(f)
-        except (OSError, json.JSONDecodeError) as e:
-            print(f"error: unreadable smoke output {path}: {e}", file=sys.stderr)
+            fresh = extract_medians(doc)
+        except (OSError, json.JSONDecodeError, ValueError, TypeError,
+                KeyError, AttributeError) as e:
+            print(f"error: unusable smoke output {path} ({e}) — did the bench "
+                  "binary crash mid-write?", file=sys.stderr)
             return 2
-        fresh = extract_medians(doc)
         base = baselines.get(binary, {})
         for name, ns in sorted(fresh.items()):
             if name in base:
