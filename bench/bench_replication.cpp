@@ -1,0 +1,210 @@
+// Replication benchmarks (DESIGN.md §11): what WAL shipping costs on top
+// of ingest, how fast a lagging follower closes a gap, and what a failover
+// promotion costs end to end.
+//
+// All three run over MemFs + ChannelTransport: the subject is the
+// replication protocol (frame encode/verify, checked replay, the
+// follower's own WAL/checkpoint chain), not disk or network latency —
+// bench_wal.cpp already prices the disk.
+//
+// BM_ShipApplyThroughput: steady-state leader apply -> ship -> follower
+// verified-apply, one pump round per batch (the replication thread's loop
+// body), reported as edges/sec through BOTH sides.
+//
+// BM_FollowerCatchup: the follower sits out L batches, then one pump
+// round ships and applies the whole (cursor, durable] gap — the record
+// path only (a snapshot resync mid-measurement is a skip error), reported
+// as records/sec. This is the curve that says how much lag a pump cadence
+// can carry before snapshot resync becomes the cheaper bootstrap.
+//
+// BM_FailoverPromote: SpannerService::recover over a converged follower's
+// own chain — exactly promote_follower's work: checksum-verified replay,
+// backend rebuild, rebase publish, forced checkpoint. Reported per
+// promotion; this is the wall-clock cost of losing a leader.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fully_dynamic_spanner.hpp"
+#include "durability/fault_fs.hpp"
+#include "graph/generators.hpp"
+#include "replication/replica_set.hpp"
+#include "service/spanner_service.hpp"
+
+namespace parspan {
+namespace {
+
+const bool kTiny = [] {
+  const char* e = std::getenv("PARSPAN_BENCH_TINY");
+  return e != nullptr && *e != '\0' && *e != '0';
+}();
+
+const size_t kN = kTiny ? 256 : 2048;
+constexpr uint32_t kK = 3;
+const size_t kBatch = kTiny ? 32 : 128;
+const size_t kPoolBatches = kTiny ? 32 : 256;
+
+std::unique_ptr<SpannerService> make_service(const std::vector<Edge>& initial,
+                                             uint64_t seed) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = kK;
+  cfg.seed = seed;
+  return std::make_unique<SpannerService>(
+      std::make_unique<FullyDynamicSpanner>(kN, initial, cfg), 2 * kK - 1);
+}
+
+// One long-lived leader + 1-follower group, reused across benchmark calls
+// (steady state must survive the estimation runs).
+struct ReplRig {
+  std::shared_ptr<MemFs> leader_fs;
+  std::shared_ptr<MemFs> follower_fs;
+  std::unique_ptr<SpannerService> svc;
+  std::unique_ptr<ReplicationGroup> group;
+  std::vector<UpdateBatch> pool;
+  size_t next = 0;
+  bool ok = false;
+};
+
+ReplRig& repl_rig() {
+  static ReplRig rig;
+  if (rig.svc != nullptr) return rig;
+  auto [initial, batches] =
+      gen_mixed_stream(kN, 6 * kN, kBatch, kPoolBatches, 17);
+  rig.pool = std::move(batches);
+  rig.leader_fs = std::make_shared<MemFs>();
+  rig.follower_fs = std::make_shared<MemFs>();
+  rig.svc = make_service(initial, 3);
+  DurabilityOptions opts;
+  opts.checkpoint_every = 256;
+  opts.keep_checkpoints = 4;  // retain enough WAL for any lagging cursor
+  rig.ok = rig.svc->enable_durability(rig.leader_fs, "leader", opts, initial);
+  if (!rig.ok) return rig;
+  rig.group = std::make_unique<ReplicationGroup>(rig.svc.get(), /*epoch=*/1);
+  rig.group->add_follower(std::make_shared<ChannelTransport>(),
+                          rig.follower_fs, "f0", opts);
+  // Warm until the follower has adopted its seed snapshot and tracks the
+  // leader incrementally — measured iterations are record-path only.
+  for (int i = 0; i < 4; ++i) rig.group->pump();
+  for (size_t i = 0; i < 8; ++i) {
+    const UpdateBatch& b = rig.pool[rig.next++ % rig.pool.size()];
+    rig.svc->apply(b.insertions, b.deletions);
+    rig.group->pump();
+  }
+  rig.ok = rig.group->converged();
+  return rig;
+}
+
+void BM_ShipApplyThroughput(benchmark::State& state) {
+  ReplRig& rig = repl_rig();
+  if (!rig.ok) {
+    state.SkipWithError("replication rig failed to converge");
+    return;
+  }
+  size_t edges = 0;
+  for (auto _ : state) {
+    const UpdateBatch& b = rig.pool[rig.next++ % rig.pool.size()];
+    rig.svc->apply(b.insertions, b.deletions);
+    rig.group->pump();
+    edges += b.insertions.size() + b.deletions.size();
+  }
+  if (!rig.group->converged() || rig.group->follower(0).rejects() != 0) {
+    state.SkipWithError("follower diverged mid-bench");
+    return;
+  }
+  state.counters["edges_per_sec"] =
+      benchmark::Counter(double(edges), benchmark::Counter::kIsRate);
+  state.counters["batch_edges"] = double(kBatch);
+}
+BENCHMARK(BM_ShipApplyThroughput)->Unit(benchmark::kMicrosecond);
+
+// range(0): how many records behind the follower starts.
+void BM_FollowerCatchup(benchmark::State& state) {
+  ReplRig& rig = repl_rig();
+  if (!rig.ok) {
+    state.SkipWithError("replication rig failed to converge");
+    return;
+  }
+  const size_t lag = size_t(state.range(0));
+  double total_records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const uint64_t resyncs = rig.group->follower(0).snapshot_resyncs();
+    for (size_t i = 0; i < lag; ++i) {
+      const UpdateBatch& b = rig.pool[rig.next++ % rig.pool.size()];
+      rig.svc->apply(b.insertions, b.deletions);
+    }
+    state.ResumeTiming();
+    for (int round = 0; round < 4 && !rig.group->converged(); ++round)
+      rig.group->pump();
+    if (!rig.group->converged())
+      state.SkipWithError("catch-up did not converge");
+    if (rig.group->follower(0).snapshot_resyncs() != resyncs)
+      state.SkipWithError("snapshot resync during record catch-up");
+    total_records += double(lag);
+  }
+  state.counters["records_per_sec"] =
+      benchmark::Counter(total_records, benchmark::Counter::kIsRate);
+  state.counters["lag_records"] = double(lag);
+}
+BENCHMARK(BM_FollowerCatchup)
+    ->Arg(kTiny ? 4 : 16)
+    ->Arg(kTiny ? 8 : 64)
+    ->Unit(benchmark::kMillisecond);
+
+// Promotion cost: recover a full leader from a converged follower's own
+// chain. Each iteration replays the chain, rebuilds the backend, publishes
+// the rebase, and cuts the forced checkpoint — then tears the new leader
+// down so the next iteration gets the chain back (each cycle appends one
+// rebase record, so the chain stays ~constant size).
+void BM_FailoverPromote(benchmark::State& state) {
+  auto [initial, batches] =
+      gen_mixed_stream(kN, 6 * kN, kBatch, kTiny ? 16 : 64, 29);
+  auto leader_fs = std::make_shared<MemFs>();
+  auto follower_fs = std::make_shared<MemFs>();
+  DurabilityOptions opts;
+  opts.checkpoint_every = 256;
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = kK;
+  cfg.seed = 5;
+  {
+    auto svc = make_service(initial, 5);
+    if (!svc->enable_durability(leader_fs, "leader", opts, initial)) {
+      state.SkipWithError("enable_durability failed");
+      return;
+    }
+    ReplicationGroup group(svc.get(), /*epoch=*/1);
+    group.add_follower(std::make_shared<ChannelTransport>(), follower_fs,
+                       "f0", opts);
+    for (const auto& b : batches) {
+      svc->apply(b.insertions, b.deletions);
+      group.pump();
+    }
+    group.pump();
+    if (!group.converged()) {
+      state.SkipWithError("setup follower did not converge");
+      return;
+    }
+  }  // follower torn down: its WAL is closed, the chain is promotable
+
+  const auto make_backend = [cfg](uint64_t n, const std::vector<Edge>& edges,
+                                  uint32_t) {
+    return std::make_unique<FullyDynamicSpanner>(static_cast<size_t>(n),
+                                                 edges, cfg);
+  };
+  for (auto _ : state) {
+    auto promoted =
+        SpannerService::recover(follower_fs, "f0", opts, make_backend);
+    if (promoted == nullptr) state.SkipWithError("promotion failed");
+    benchmark::DoNotOptimize(promoted);
+  }
+  state.counters["chain_records"] = double(batches.size());
+}
+BENCHMARK(BM_FailoverPromote)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

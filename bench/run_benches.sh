@@ -13,6 +13,9 @@
 #   BENCH_wal.json         — durability: saturated-ingest overhead of the
 #                            WAL fsync policies vs WAL-off, and
 #                            recovery-time vs log-length curve
+#   BENCH_replication.json — WAL shipping: leader->follower ship+apply
+#                            throughput, follower lag catch-up, and
+#                            failover promotion cost
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: ./build)
 #
@@ -120,3 +123,14 @@ echo "== wal durability benches (fsync-policy overhead + recovery curve) =="
 merge "$tmpdir/bench_wal.tmp.json" \
   >"$repo_root/BENCH_wal.json"
 echo "wrote $repo_root/BENCH_wal.json"
+
+echo "== replication benches (WAL shipping + follower catch-up + failover) =="
+# MemFs-backed: these price the protocol (frame encode/verify, checked
+# replay, the follower's own chain), not the disk — keep them off the
+# virtio-noise list, plain single runs suffice.
+"$build_dir/bench_replication" \
+  --benchmark_format=json \
+  >"$tmpdir/bench_replication.tmp.json"
+merge "$tmpdir/bench_replication.tmp.json" \
+  >"$repo_root/BENCH_replication.json"
+echo "wrote $repo_root/BENCH_replication.json"

@@ -9,58 +9,11 @@ namespace parspan {
 
 namespace {
 
-std::string wal_file_name(uint64_t base_version) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "wal-%016llx.log",
-                static_cast<unsigned long long>(base_version));
-  return buf;
-}
-
-std::optional<uint64_t> parse_wal_file_name(const std::string& name) {
-  unsigned long long v = 0;
-  char tail = 0;
-  if (std::sscanf(name.c_str(), "wal-%16llx.lo%c", &v, &tail) != 2 ||
-      tail != 'g' || name.size() != wal_file_name(v).size())
-    return std::nullopt;
-  return v;
-}
-
 // A canonical key the graph can actually contain: lo < hi < n. WAL bytes
 // are data, not invariants — recovery and the shadow both filter.
 bool valid_graph_key(EdgeKey k, uint64_t n) {
   auto [lo, hi] = edge_endpoints(k);
   return lo < hi && hi < n;
-}
-
-// apply_sorted_diff with the §6 preconditions *checked* instead of
-// asserted: `add` disjoint from `base`, `rem` contained in `base`, all
-// three sorted-unique. A CRC-valid but semantically inconsistent record
-// (media rot that survived the frame check, or a bug) must truncate
-// replay, not corrupt the restored state or crash a Release build.
-std::optional<std::vector<EdgeKey>> checked_apply_diff(
-    std::span<const EdgeKey> base, std::span<const EdgeKey> add,
-    std::span<const EdgeKey> rem) {
-  auto sorted_unique = [](std::span<const EdgeKey> v) {
-    return std::is_sorted(v.begin(), v.end()) &&
-           std::adjacent_find(v.begin(), v.end()) == v.end();
-  };
-  if (!sorted_unique(add) || !sorted_unique(rem)) return std::nullopt;
-  std::vector<EdgeKey> out;
-  out.reserve(base.size() + add.size());
-  size_t a = 0, r = 0;
-  for (EdgeKey k : base) {
-    if (r < rem.size() && rem[r] == k) {
-      ++r;
-      continue;
-    }
-    if (r < rem.size() && rem[r] < k) return std::nullopt;  // rem key absent
-    while (a < add.size() && add[a] < k) out.push_back(add[a++]);
-    if (a < add.size() && add[a] == k) return std::nullopt;  // add key present
-    out.push_back(k);
-  }
-  if (r != rem.size()) return std::nullopt;
-  while (a < add.size()) out.push_back(add[a++]);
-  return out;
 }
 
 }  // namespace

@@ -115,6 +115,13 @@ class ShardDurability {
 
   uint64_t records_logged() const { return records_logged_; }
 
+  /// Directory / filesystem / options this shard logs to — the log
+  /// shipper tails the same directory read-only (DESIGN.md §11.1), and
+  /// failover promotion rebuilds a service on a follower's own chain.
+  const std::string& dir() const { return dir_; }
+  const std::shared_ptr<Fs>& fs() const { return fs_; }
+  const DurabilityOptions& options() const { return opts_; }
+
  private:
   ShardDurability(std::shared_ptr<Fs> fs, std::string dir,
                   const DurabilityOptions& opts, uint64_t n, uint32_t stretch);

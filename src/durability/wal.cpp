@@ -1,7 +1,9 @@
 #include "durability/wal.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstdio>
 
 namespace parspan {
 
@@ -35,6 +37,48 @@ constexpr size_t kFrameHeaderSize = 4 + 4;
 constexpr uint32_t kMaxFramePayload = 1u << 30;
 
 }  // namespace
+
+std::string wal_file_name(uint64_t base_version) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "wal-%016llx.log",
+                static_cast<unsigned long long>(base_version));
+  return buf;
+}
+
+std::optional<uint64_t> parse_wal_file_name(const std::string& name) {
+  unsigned long long v = 0;
+  char tail = 0;
+  if (std::sscanf(name.c_str(), "wal-%16llx.lo%c", &v, &tail) != 2 ||
+      tail != 'g' || name.size() != wal_file_name(v).size())
+    return std::nullopt;
+  return v;
+}
+
+std::optional<std::vector<EdgeKey>> checked_apply_diff(
+    std::span<const EdgeKey> base, std::span<const EdgeKey> add,
+    std::span<const EdgeKey> rem) {
+  auto sorted_unique = [](std::span<const EdgeKey> v) {
+    return std::is_sorted(v.begin(), v.end()) &&
+           std::adjacent_find(v.begin(), v.end()) == v.end();
+  };
+  if (!sorted_unique(add) || !sorted_unique(rem)) return std::nullopt;
+  std::vector<EdgeKey> out;
+  out.reserve(base.size() + add.size());
+  size_t a = 0, r = 0;
+  for (EdgeKey k : base) {
+    if (r < rem.size() && rem[r] == k) {
+      ++r;
+      continue;
+    }
+    if (r < rem.size() && rem[r] < k) return std::nullopt;  // rem key absent
+    while (a < add.size() && add[a] < k) out.push_back(add[a++]);
+    if (a < add.size() && add[a] == k) return std::nullopt;  // add key present
+    out.push_back(k);
+  }
+  if (r != rem.size()) return std::nullopt;
+  while (a < add.size()) out.push_back(add[a++]);
+  return out;
+}
 
 uint32_t crc32c(const uint8_t* data, size_t len, uint32_t seed) {
   static const std::array<std::array<uint32_t, 256>, 8> t = make_crc32c_tables();

@@ -37,6 +37,8 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,22 @@ namespace parspan {
 
 /// CRC32C (Castagnoli) of a byte range — the frame integrity check.
 uint32_t crc32c(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+/// Segment file name for base version `v` ("wal-<v:016x>.log").
+std::string wal_file_name(uint64_t base_version);
+/// Parses a segment file name; nullopt for other files.
+std::optional<uint64_t> parse_wal_file_name(const std::string& name);
+
+/// apply_sorted_diff with the §6 preconditions *checked* instead of
+/// asserted: `add` disjoint from `base`, `rem` contained in `base`, all
+/// three sorted-unique. Returns nullopt on any violation. This is how every
+/// consumer of logged or shipped diffs folds them — a CRC-valid but
+/// semantically inconsistent record (media rot that survived the frame
+/// check, or a bug) must stop replay, not corrupt the restored state or
+/// crash a Release build (DESIGN.md §10.4, §11.3).
+std::optional<std::vector<EdgeKey>> checked_apply_diff(
+    std::span<const EdgeKey> base, std::span<const EdgeKey> add,
+    std::span<const EdgeKey> rem);
 
 // --- Little-endian scalar codec (shared with the checkpoint format). -------
 

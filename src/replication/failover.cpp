@@ -1,0 +1,18 @@
+#include "replication/failover.hpp"
+
+namespace parspan {
+
+std::optional<Election> elect_longest_log(
+    const std::vector<const FollowerReplica*>& candidates) {
+  std::optional<Election> best;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const FollowerReplica* f = candidates[i];
+    if (f == nullptr || !f->has_state()) continue;
+    uint64_t dv = f->durable_version();
+    // Strict >: ties stay with the earliest candidate (deterministic).
+    if (!best || dv > best->durable_version) best = Election{i, dv};
+  }
+  return best;
+}
+
+}  // namespace parspan

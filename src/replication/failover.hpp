@@ -1,0 +1,68 @@
+// Failover: leader-loss handling (DESIGN.md §11.4).
+//
+// Election is deliberately dumb and fully deterministic: the follower with
+// the LONGEST DURABLY-VERIFIED LOG wins (FollowerReplica::durable_version
+// — every record behind it passed checksum verification before it was
+// logged, and survives the winner's own crash). Ties break to the lowest
+// index. There is no quorum machinery here — the harness (or an operator /
+// external coordinator) decides THAT failover happens; this module decides
+// WHO wins and makes the promotion safe:
+//
+//   * the winner is rebuilt by SpannerService::recover on its own chain —
+//     the restored version/checksum equal its durable watermark (the
+//     election metric IS the recovery lower bound), and the rebase epoch
+//     (restored + 1) re-anchors the WAL chain under a rebuilt backend;
+//   * the new leader ships under epoch old+1: survivors still holding the
+//     old epoch reject-and-resync off the rebase snapshot, and any late
+//     frame from the deposed leader dies on the followers' epoch check.
+//
+// What failover costs, by design: updates past the winner's durable
+// watermark are lost (they were never durable ANYWHERE by the watermark
+// shipping rule — the dead leader alone had them), and the rebase replaces
+// the spanner edge set (same graph, different certificate), exactly like a
+// single-process recovery.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "replication/follower.hpp"
+#include "service/spanner_service.hpp"
+
+namespace parspan {
+
+struct Election {
+  size_t winner = 0;            // index into the candidate vector
+  uint64_t durable_version = 0; // the winning log length
+};
+
+/// Longest-durable-log election over the surviving followers. Stateless
+/// candidates don't run; nullopt when nobody has state (no recoverable
+/// replica — the group is lost, by honest admission).
+std::optional<Election> elect_longest_log(
+    const std::vector<const FollowerReplica*>& candidates);
+
+/// Promotes the elected follower to a full leader: tears the follower down
+/// (closing its WAL writer) and rebuilds a SpannerService from its chain
+/// via SpannerService::recover — restored state == the follower's durable
+/// prefix, then the rebase epoch with a rebuilt backend. `make_backend` is
+/// recover()'s factory: (n, graph_edges, stretch) -> unique_ptr<Backend>.
+/// nullptr only if the chain lost its checkpoint after election (media
+/// death mid-failover) — callers then try the runner-up.
+template <typename MakeBackend>
+std::unique_ptr<SpannerService> promote_follower(
+    std::unique_ptr<FollowerReplica> follower, MakeBackend&& make_backend,
+    SpannerService::RecoveryReport* report = nullptr) {
+  std::shared_ptr<Fs> fs = follower->fs();
+  std::string dir = follower->dir();
+  DurabilityOptions opts = follower->options();
+  follower.reset();  // single writer per chain: close before recover reopens
+  return SpannerService::recover(std::move(fs), std::move(dir), opts,
+                                 std::forward<MakeBackend>(make_backend),
+                                 report);
+}
+
+}  // namespace parspan

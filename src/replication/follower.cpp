@@ -1,0 +1,170 @@
+#include "replication/follower.hpp"
+
+#include "service/spanner_snapshot.hpp"
+
+namespace parspan {
+
+namespace {
+
+constexpr const char* kEpochFile = "epoch";
+
+// Tiny sidecar: epoch u64 LE + crc32c. Unreadable/torn => epoch 0, which
+// is always safe — the follower just resyncs into the current epoch.
+bool read_epoch_file(Fs& fs, const std::string& dir, uint64_t* epoch) {
+  std::vector<uint8_t> b;
+  if (!fs.read_file(dir + "/" + kEpochFile, &b) || b.size() != 12)
+    return false;
+  if (crc32c(b.data(), 8) != get_le32(b.data() + 8)) return false;
+  *epoch = get_le64(b.data());
+  return true;
+}
+
+}  // namespace
+
+FollowerReplica::FollowerReplica(std::shared_ptr<Fs> fs, std::string dir,
+                                 const DurabilityOptions& opts,
+                                 std::shared_ptr<ReplicationTransport> transport)
+    : fs_(std::move(fs)), dir_(std::move(dir)), opts_(opts),
+      transport_(std::move(transport)),
+      store_(std::make_unique<SnapshotStore>()) {}
+
+std::unique_ptr<FollowerReplica> FollowerReplica::recover(
+    std::shared_ptr<Fs> fs, std::string dir, const DurabilityOptions& opts,
+    std::shared_ptr<ReplicationTransport> transport) {
+  auto f = std::make_unique<FollowerReplica>(fs, dir, opts,
+                                             std::move(transport));
+  auto rec = ShardDurability::recover(std::move(fs), std::move(dir), opts);
+  if (!rec) return f;  // nothing durable — a fresh follower that resyncs
+
+  f->have_state_ = true;
+  f->n_ = rec->n;
+  f->stretch_ = rec->stretch;
+  f->version_ = rec->version;
+  f->checksum_ = rec->checksum;
+  f->snap_keys_ = std::move(rec->snap_keys);
+  f->dur_ = std::move(rec->dur);
+  read_epoch_file(*f->fs_, f->dir_, &f->epoch_);
+  // Compact immediately (the recovery epilogue discipline of §10.4): a
+  // follower that crash-loops must not accumulate log.
+  if (f->dur_ != nullptr)
+    f->dur_->checkpoint_now(f->version_, f->checksum_, f->snap_keys_);
+  f->store_->publish(SpannerSnapshot::restore(
+      f->n_, f->stretch_, f->version_,
+      std::vector<EdgeKey>(f->snap_keys_)));
+  return f;
+}
+
+void FollowerReplica::persist_epoch() {
+  // Best-effort: a lost epoch file downgrades a future recovery to epoch 0
+  // (forced resync), never to wrong state.
+  std::vector<uint8_t> b;
+  put_le64(b, epoch_);
+  put_le32(b, crc32c(b.data(), 8));
+  auto file = fs_->create(dir_ + "/" + kEpochFile);
+  if (file != nullptr && file->append(b.data(), b.size())) file->sync();
+}
+
+void FollowerReplica::adopt_snapshot(uint64_t frame_epoch, DurableState state) {
+  const bool epoch_changed = frame_epoch != epoch_;
+  n_ = state.n;
+  stretch_ = state.stretch;
+  version_ = state.version;
+  checksum_ = state.checksum;
+  snap_keys_ = std::move(state.snap_keys);
+  epoch_ = frame_epoch;
+  have_state_ = true;
+  need_snapshot_ = false;
+  // A fresh genesis for the follower's own chain: create() wipes the old
+  // ckpt/wal files, so nothing from a previous epoch (or a previous
+  // incarnation's divergent tail) can win a later recovery.
+  dur_ = ShardDurability::create(fs_, dir_, opts_, n_, stretch_, version_,
+                                 snap_keys_, checksum_,
+                                 std::move(state.graph_keys));
+  persist_epoch();
+  if (epoch_changed || store_->acquire() == nullptr) {
+    // Rebase epochs reuse version numbers with different content — start a
+    // fresh publish chain rather than mixing them (see header).
+    store_ = std::make_unique<SnapshotStore>();
+  }
+  store_->publish(SpannerSnapshot::restore(n_, stretch_, version_,
+                                           std::vector<EdgeKey>(snap_keys_)));
+  ++resyncs_;
+}
+
+void FollowerReplica::apply_record(uint64_t frame_epoch, const WalRecord& rec) {
+  if (frame_epoch != epoch_ || !have_state_) {
+    // A record from the future epoch is unusable without its rebase
+    // snapshot; ask for one. (Past epochs were already dropped in pump().)
+    need_snapshot_ = true;
+    return;
+  }
+  if (rec.version <= version_) {
+    ++duplicates_;  // re-ship overlap or transport duplicate — idempotent
+    return;
+  }
+  if (rec.version != version_ + 1) {
+    ++gaps_;  // reordered ahead of its predecessor — the re-ship closes it
+    return;
+  }
+  auto folded =
+      checked_apply_diff(snap_keys_, rec.diff_inserted, rec.diff_removed);
+  if (!folded || snapshot_content_checksum(n_, stretch_, rec.version,
+                                           *folded) != rec.checksum) {
+    // CRC-valid but semantically wrong (or checksum mismatch): the
+    // follower's chain cannot extend this way. Explicit reject + resync —
+    // the §11 "never silent divergence" guarantee.
+    ++rejects_;
+    need_snapshot_ = true;
+    return;
+  }
+  snap_keys_ = std::move(*folded);
+  version_ = rec.version;
+  checksum_ = rec.checksum;
+  if (dur_ != nullptr) {
+    dur_->log_record(rec);
+    dur_->maybe_checkpoint(version_, checksum_, snap_keys_);
+  }
+  store_->publish(SpannerSnapshot::restore(n_, stretch_, version_,
+                                           std::vector<EdgeKey>(snap_keys_)));
+  ++records_applied_;
+}
+
+void FollowerReplica::pump() {
+  while (auto frame = transport_->recv_frame()) {
+    auto parsed = parse_frame(*frame);
+    if (!parsed) {
+      ++rejects_;  // mangled on the wire; the unchanged cursor re-ships it
+      continue;
+    }
+    if (parsed->epoch < epoch_) {
+      ++stale_drops_;  // a deposed leader's frame — dead on arrival
+      continue;
+    }
+    if (parsed->type == FrameType::kSnapshot) {
+      if (parsed->epoch == epoch_ && have_state_ &&
+          parsed->state.version <= version_) {
+        ++duplicates_;  // never adopt backwards within an epoch
+        continue;
+      }
+      // Trust nothing: the checksum must re-derive from the shipped keys
+      // before this state becomes ours.
+      if (snapshot_content_checksum(parsed->state.n, parsed->state.stretch,
+                                    parsed->state.version,
+                                    parsed->state.snap_keys) !=
+          parsed->state.checksum) {
+        ++rejects_;
+        continue;
+      }
+      adopt_snapshot(parsed->epoch, std::move(parsed->state));
+    } else {
+      apply_record(parsed->epoch, parsed->rec);
+    }
+  }
+  ReplicaCursor c;
+  c.epoch = epoch_;
+  c.version = version_;
+  c.need_snapshot = !have_state_ || need_snapshot_;
+  transport_->send_cursor(c);
+}
+
+}  // namespace parspan

@@ -1,0 +1,119 @@
+#include "replication/replica_set.hpp"
+
+#include <cassert>
+
+namespace parspan {
+
+ReplicationGroup::ReplicationGroup(const SpannerService* leader, uint64_t epoch)
+    : leader_(leader), epoch_(epoch) {
+  assert(leader_ != nullptr && leader_->durability() != nullptr &&
+         "ReplicationGroup needs a durability-enabled leader to tail");
+}
+
+FollowerReplica& ReplicationGroup::add_follower(
+    std::shared_ptr<ReplicationTransport> transport,
+    std::shared_ptr<Fs> follower_fs, std::string follower_dir,
+    const DurabilityOptions& follower_opts) {
+  return attach(std::make_unique<FollowerReplica>(
+                    std::move(follower_fs), std::move(follower_dir),
+                    follower_opts, transport),
+                transport);
+}
+
+FollowerReplica& ReplicationGroup::attach(
+    std::unique_ptr<FollowerReplica> follower,
+    std::shared_ptr<ReplicationTransport> transport) {
+  const ShardDurability* dur = leader_->durability();
+  Member m;
+  m.shipper = std::make_unique<LogShipper>(dur->fs(), dur->dir(), epoch_,
+                                           transport);
+  m.transport = std::move(transport);
+  m.follower = std::move(follower);
+  members_.push_back(std::move(m));
+  return *members_.back().follower;
+}
+
+std::unique_ptr<FollowerReplica> ReplicationGroup::detach(size_t i) {
+  std::unique_ptr<FollowerReplica> f = std::move(members_[i].follower);
+  members_.erase(members_.begin() + static_cast<ptrdiff_t>(i));
+  return f;
+}
+
+uint64_t ReplicationGroup::leader_durable() const {
+  return leader_->durability()->durable_version();
+}
+
+void ReplicationGroup::pump() {
+  const uint64_t durable = leader_durable();
+  for (Member& m : members_) {
+    m.shipper->pump(durable);
+    m.follower->pump();
+  }
+}
+
+bool ReplicationGroup::converged() const {
+  const uint64_t durable = leader_durable();
+  for (const Member& m : members_)
+    if (m.follower->epoch() != epoch_ ||
+        m.follower->applied_version() != durable)
+      return false;
+  return true;
+}
+
+ReplicationGroup::ReadResult ReplicationGroup::read_at_least(uint64_t version) {
+  // Round-robin over caught-up followers; the leader serves only when no
+  // follower can honor the client's watermark.
+  const size_t n = members_.size();
+  for (size_t k = 0; k < n; ++k) {
+    size_t i = (rr_ + k) % n;
+    const Member& m = members_[i];
+    if (m.follower->epoch() != epoch_) continue;
+    SpannerSnapshot::Ptr snap = m.follower->snapshot();
+    if (snap != nullptr && snap->version() >= version) {
+      rr_ = i + 1;
+      return {std::move(snap), static_cast<int>(i)};
+    }
+  }
+  return {leader_->snapshot(), -1};
+}
+
+ReplicatedShardedReader::ReplicatedShardedReader(
+    const ShardedSpannerService* service)
+    : service_(service), fleets_(service->num_shards()) {}
+
+void ReplicatedShardedReader::add_follower(size_t shard,
+                                           const FollowerReplica* follower) {
+  fleets_.at(shard).push_back(follower);
+}
+
+ShardedView ReplicatedShardedReader::view_at_least(
+    const VersionVector& vv, std::vector<int>* sources) const {
+  assert(vv.v.size() == fleets_.size() &&
+         "version vector must match the shard count");
+  if (sources != nullptr) sources->assign(fleets_.size(), -1);
+  std::vector<SpannerSnapshot::Ptr> snaps(fleets_.size());
+  const size_t start = rr_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t s = 0; s < fleets_.size(); ++s) {
+    const auto& fleet = fleets_[s];
+    for (size_t k = 0; k < fleet.size() && snaps[s] == nullptr; ++k) {
+      const FollowerReplica* f = fleet[(start + k) % fleet.size()];
+      SpannerSnapshot::Ptr snap = f->snapshot();
+      if (snap != nullptr && snap->version() >= vv.v[s]) {
+        snaps[s] = std::move(snap);
+        if (sources != nullptr)
+          (*sources)[s] = static_cast<int>((start + k) % fleet.size());
+        follower_reads_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (snaps[s] == nullptr) {
+      // Leader fallback: its served version always dominates any flush()
+      // vector it produced.
+      snaps[s] = service_->shard_service(s).snapshot();
+      leader_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return ShardedView::compose(service_->router_ptr(), service_->vertex_space(),
+                              std::move(snaps));
+}
+
+}  // namespace parspan

@@ -1,0 +1,133 @@
+// ReplicationGroup / ReplicatedShardedReader: wiring one leader to N
+// followers and spreading reads across them (DESIGN.md §11.5).
+//
+// ReplicationGroup binds one durability-enabled SpannerService (the
+// leader) to N (shipper, follower) pairs over arbitrary transports. pump()
+// runs one shipping + applying round for every member — the test
+// harnesses' clock tick, and the loop body a production replication
+// thread would run. read_at_least(v) is the read-your-writes router: a
+// client that observed version v gets a snapshot at >= v, served by a
+// caught-up follower when one exists (round-robin across eligible
+// followers) and by the leader only as the fallback — read scaling
+// without ever serving a stale read past the client's watermark.
+//
+// ReplicatedShardedReader lifts the same routing to the PR-5 sharded
+// layer: per-shard follower lists, and view_at_least(VersionVector)
+// composes a ShardedView whose every shard snapshot dominates the
+// client's vector — flush()'s barrier semantics, now servable by
+// replicas.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replication/follower.hpp"
+#include "replication/log_shipper.hpp"
+#include "service/sharded_service.hpp"
+#include "service/spanner_service.hpp"
+
+namespace parspan {
+
+class ReplicationGroup {
+ public:
+  /// `leader` must outlive the group and have durability enabled (the
+  /// shippers tail its directory). `epoch` is the leader's rebase epoch —
+  /// a freshly built service is epoch 1; a post-failover leader passes
+  /// old epoch + 1.
+  ReplicationGroup(const SpannerService* leader, uint64_t epoch);
+
+  /// Creates a fresh follower over `transport`, chained to its own
+  /// durability dir, and a shipper for it.
+  FollowerReplica& add_follower(std::shared_ptr<ReplicationTransport> transport,
+                                std::shared_ptr<Fs> follower_fs,
+                                std::string follower_dir,
+                                const DurabilityOptions& follower_opts);
+
+  /// Adopts an existing follower (recovered from its chain, or a survivor
+  /// of a failover) and builds this group's shipper for it. The follower
+  /// keeps its state; if its epoch differs from the group's, the first
+  /// pump resyncs it.
+  FollowerReplica& attach(std::unique_ptr<FollowerReplica> follower,
+                          std::shared_ptr<ReplicationTransport> transport);
+
+  /// Removes follower i from the group and hands it back (failover
+  /// election input, crash simulation). Its shipper is dropped.
+  std::unique_ptr<FollowerReplica> detach(size_t i);
+
+  /// One replication round: every shipper ships up to the leader's current
+  /// durable watermark, every follower applies and acks.
+  void pump();
+
+  /// True when every follower has applied exactly the leader's durable
+  /// watermark in the group's epoch.
+  bool converged() const;
+
+  uint64_t leader_durable() const;
+  uint64_t epoch() const { return epoch_; }
+  size_t num_followers() const { return members_.size(); }
+  FollowerReplica& follower(size_t i) { return *members_[i].follower; }
+  const FollowerReplica& follower(size_t i) const {
+    return *members_[i].follower;
+  }
+  LogShipper& shipper(size_t i) { return *members_[i].shipper; }
+
+  /// A read-your-writes read: a snapshot at version >= `version`, from a
+  /// caught-up follower when possible (round-robin), else the leader.
+  /// `source` reports who served it: follower index, or -1 for the leader.
+  struct ReadResult {
+    SpannerSnapshot::Ptr snap;
+    int source = -1;
+  };
+  ReadResult read_at_least(uint64_t version);
+
+ private:
+  struct Member {
+    std::shared_ptr<ReplicationTransport> transport;
+    std::unique_ptr<LogShipper> shipper;
+    std::unique_ptr<FollowerReplica> follower;
+  };
+
+  const SpannerService* leader_;
+  uint64_t epoch_;
+  std::vector<Member> members_;
+  size_t rr_ = 0;  // round-robin cursor for read spreading
+};
+
+/// Read router over a sharded service plus per-shard follower fleets.
+/// Followers are registered per shard and owned elsewhere (typically a
+/// ReplicationGroup per shard); this class only routes.
+class ReplicatedShardedReader {
+ public:
+  explicit ReplicatedShardedReader(const ShardedSpannerService* service);
+
+  /// Registers a follower replicating shard `shard`.
+  void add_follower(size_t shard, const FollowerReplica* follower);
+
+  /// Pins a cross-shard view dominating `vv` (a flush() result): each
+  /// shard's snapshot comes from a follower that has caught up to
+  /// vv.v[shard], else from the leader shard — read-your-writes preserved
+  /// either way. `sources` (optional, shard order) reports who served
+  /// each shard: follower index within the shard's fleet, or -1 = leader.
+  ShardedView view_at_least(const VersionVector& vv,
+                            std::vector<int>* sources = nullptr) const;
+
+  /// Total shard-reads served by followers / by the leader fallback.
+  uint64_t follower_reads() const {
+    return follower_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t leader_reads() const {
+    return leader_reads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const ShardedSpannerService* service_;
+  std::vector<std::vector<const FollowerReplica*>> fleets_;  // per shard
+  mutable std::atomic<size_t> rr_{0};
+  mutable std::atomic<uint64_t> follower_reads_{0};
+  mutable std::atomic<uint64_t> leader_reads_{0};
+};
+
+}  // namespace parspan

@@ -401,6 +401,15 @@ VersionVector ShardedSpannerService::versions() const {
   return vv;
 }
 
+bool ShardedSpannerService::durability_failed() const {
+  if (!cfg_.durability.enabled) return false;
+  for (const auto& sh : shards_) {
+    const ShardDurability* dur = sh->service->durability();
+    if (dur == nullptr || dur->failed()) return true;
+  }
+  return false;
+}
+
 ShardedView ShardedSpannerService::view() const {
   std::vector<SpannerSnapshot::Ptr> snaps;
   snaps.reserve(shards_.size());

@@ -717,5 +717,86 @@ TEST(Sharded, LatencySamplesRecorded) {
   EXPECT_GE(svc->edges_ingested(), rounds);
 }
 
+// Admission is per shard: when one shard's queue is wedged past the
+// deadline, only ITS sub-batch is dropped (counted in edges_timed_out);
+// responsive shards admit theirs. A retry after capacity returns is a
+// clean kOk and the full batch lands (set-semantics idempotence).
+TEST(Sharded, SubmitForPartialAdmissionAcrossShards) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  ShardedConfig sc;
+  sc.queue_capacity = 4;
+  sc.start_paused = true;  // nothing drains: queues only fill
+  const size_t n = 64;     // VertexRangeRouter: shard 0 owns 0..31
+  auto svc = ShardedSpannerService::single_graph(
+      n, gen_erdos_renyi(n, 120, 11), 2, cfg, sc);
+
+  // Wedge shard 0 alone: lower endpoints < 32, so every edge routes there.
+  std::vector<Edge> fill;
+  for (VertexId v = 0; v < 6; ++v) fill.push_back(Edge(v, VertexId(v + 20)));
+  ASSERT_EQ(svc->submit_for(fill, {}, std::chrono::milliseconds(50)),
+            ShardedSpannerService::SubmitStatus::kOk);
+
+  // A mixed batch: shard 0's half times out, shard 1's half is admitted.
+  const std::vector<Edge> mixed = {Edge(10, 11), Edge(40, 41)};
+  EXPECT_EQ(svc->submit_for(mixed, {}, std::chrono::milliseconds(5)),
+            ShardedSpannerService::SubmitStatus::kTimeout);
+  EXPECT_EQ(svc->edges_timed_out(), 1u);                   // Edge(10, 11)
+  EXPECT_EQ(svc->edges_ingested(), fill.size() + 1);       // Edge(40, 41)
+
+  // Capacity returns on flush; the idempotent retry admits everything.
+  svc->flush();
+  EXPECT_EQ(svc->submit_for(mixed, {}, std::chrono::milliseconds(250)),
+            ShardedSpannerService::SubmitStatus::kOk);
+  svc->flush();
+  EXPECT_TRUE(svc->view().has_edge(10, 11));
+  EXPECT_TRUE(svc->view().has_edge(40, 41));
+  EXPECT_EQ(svc->edges_timed_out(), 1u);  // the retry timed nothing out
+}
+
+// durability_failed() is the replication/ops health probe: false without
+// durability, false while the WAL is healthy, and sticky-true after a
+// shard's WAL append fails — while the service itself keeps serving reads
+// and accepting writes (the §10 contract: serve on, minus the claim).
+TEST(Sharded, DurabilityFailedSurfacesStickyWalFailure) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  cfg.seed = 19;
+  const size_t n = 64;
+  auto initial = gen_erdos_renyi(n, 150, 5);
+
+  ShardedConfig plain;
+  auto no_dur = ShardedSpannerService::single_graph(n, initial, 2, cfg, plain);
+  EXPECT_FALSE(no_dur->durability_failed());  // no claim, no failure
+
+  auto fs = std::make_shared<MemFs>();
+  ShardedConfig sc;
+  sc.durability.enabled = true;
+  sc.durability.fs = fs;
+  sc.durability.dir = "root";
+  auto svc = ShardedSpannerService::single_graph(n, initial, 2, cfg, sc);
+  EXPECT_FALSE(svc->durability_failed());
+
+  svc->submit({Edge(1, 40)}, {});
+  svc->flush();
+  EXPECT_FALSE(svc->durability_failed());  // healthy WAL appends
+
+  // One transient I/O error (short write) on the next mutating op: the
+  // owning shard's WAL must go sticky-failed even though the fs recovers.
+  fs->fail_at_op(1);
+  svc->submit({Edge(2, 41)}, {});
+  svc->flush();
+  EXPECT_TRUE(svc->durability_failed());
+
+  // Sticky, and the service still serves: reads see the new edges and
+  // later writes are applied and published.
+  svc->submit({Edge(3, 42)}, {});
+  svc->flush();
+  EXPECT_TRUE(svc->durability_failed());
+  auto view = svc->view();
+  EXPECT_TRUE(view.has_edge(2, 41));
+  EXPECT_TRUE(view.has_edge(3, 42));
+}
+
 }  // namespace
 }  // namespace parspan

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for tools/compare_bench.py.
+
+The CI bench-smoke job branches on this tool's exit codes, so they are an
+API: 0 = compared (regressions are advisory and must NOT fail the job),
+2 = missing inputs, 3 = malformed baseline. A refactor that turns a
+missing-baseline message into a traceback, or starts exiting non-zero on a
+flagged regression, silently changes CI behavior — these tests pin it.
+
+Run directly (python3 tools/test_compare_bench.py) or via ctest
+(test_compare_bench).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "compare_bench.py")
+
+
+def bench_doc(times_ns):
+    """A minimal google-benchmark JSON doc: {benchmark name: real_time ns}."""
+    return {
+        "benchmarks": [
+            {"name": name, "real_time": ns, "time_unit": "ns"}
+            for name, ns in times_ns.items()
+        ]
+    }
+
+
+def write(path, obj):
+    with open(path, "w") as f:
+        if isinstance(obj, str):
+            f.write(obj)
+        else:
+            json.dump(obj, f)
+
+
+def run_tool(*args):
+    return subprocess.run([sys.executable, TOOL, *args],
+                          capture_output=True, text=True)
+
+
+class CompareBenchExitCodes(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = self._tmp.name
+        self.baseline_dir = os.path.join(root, "baseline")
+        self.fresh_dir = os.path.join(root, "fresh")
+        os.mkdir(self.baseline_dir)
+        os.mkdir(self.fresh_dir)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def seed_baseline(self, binary="bench_x", name="BM_Thing", ns=1000.0):
+        write(os.path.join(self.baseline_dir, "BENCH_x.json"),
+              {binary: bench_doc({name: ns})})
+
+    # --- exit 0: compared, regressions advisory -----------------------------
+
+    def test_clean_comparison_exits_zero(self):
+        self.seed_baseline(ns=1000.0)
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 1010.0}))
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("BM_Thing", r.stdout)
+        self.assertIn("1 compared", r.stdout)
+
+    def test_regression_past_threshold_is_advisory_exit_zero(self):
+        self.seed_baseline(ns=1000.0)
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 5000.0}))  # 5x slower
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir, "--threshold", "0.25")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("regressed past the threshold", r.stdout)
+
+    def test_skipped_binary_and_unmatched_names_exit_zero(self):
+        self.seed_baseline()
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 1000.0}))
+        write(os.path.join(self.fresh_dir, "bench_new.json"),
+              bench_doc({"BM_Unseen": 1.0}))  # no baseline: counted, not diffed
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir, "--skip", "bench_x")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("skipped", r.stdout)
+        self.assertIn("1 without a baseline match", r.stdout)
+        self.assertIn("0 compared", r.stdout)
+
+    # --- exit 2: missing inputs ---------------------------------------------
+
+    def test_no_baselines_exits_two(self):
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 1000.0}))
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("no BENCH_", r.stderr)
+
+    def test_no_fresh_output_exits_two(self):
+        self.seed_baseline()
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("no fresh smoke JSON", r.stderr)
+
+    def test_truncated_fresh_output_exits_two(self):
+        self.seed_baseline()
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              '{"benchmarks": [{"name": "BM_Thing", "real_')  # crashed writer
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("unusable smoke output", r.stderr)
+
+    # --- exit 3: malformed baseline -----------------------------------------
+
+    def test_invalid_json_baseline_exits_three(self):
+        write(os.path.join(self.baseline_dir, "BENCH_x.json"), "{not json")
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 1000.0}))
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir)
+        self.assertEqual(r.returncode, 3)
+        self.assertIn("malformed baseline", r.stderr)
+
+    def test_wrong_shape_baseline_exits_three(self):
+        # A raw google-benchmark doc (not the run_benches.sh {binary: doc}
+        # wrapper) must be rejected, not silently compared against nothing.
+        write(os.path.join(self.baseline_dir, "BENCH_x.json"),
+              bench_doc({"BM_Thing": 1000.0}))
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 1000.0}))
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir)
+        self.assertEqual(r.returncode, 3)
+        self.assertIn("malformed baseline", r.stderr)
+
+    # --- repetition aggregates mix with single runs -------------------------
+
+    def test_median_aggregates_compare_via_run_name(self):
+        write(os.path.join(self.baseline_dir, "BENCH_x.json"), {
+            "bench_x": {"benchmarks": [
+                {"name": "BM_Thing_median", "run_name": "BM_Thing",
+                 "aggregate_name": "median", "real_time": 1000.0,
+                 "time_unit": "ns"},
+                {"name": "BM_Thing_mean", "run_name": "BM_Thing",
+                 "aggregate_name": "mean", "real_time": 9999.0,
+                 "time_unit": "ns"},
+            ]}})
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 1000.0}))
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("1 compared", r.stdout)
+        self.assertIn("+0.0%", r.stdout)  # diffed against the median, not mean
+
+
+if __name__ == "__main__":
+    unittest.main()
