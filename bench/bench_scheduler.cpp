@@ -1,0 +1,137 @@
+// Microbenchmarks for the work-stealing scheduler (DESIGN.md §12): the
+// price of a fork-join task, steal throughput when one worker produces and
+// the rest consume, and the end-to-end loop primitives on top. These
+// calibrate the lazy-splitting grain heuristic and catch regressions in the
+// deque / doorbell hot paths.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace parspan {
+namespace {
+
+/// Scoped worker-count override: overhead/steal benches need real
+/// parallelism even on the 1-core CI container, while the loop-primitive
+/// medians run at the environment's default so they stay comparable with
+/// the other BENCH_*.json trajectories.
+class WorkerOverride {
+ public:
+  explicit WorkerOverride(int p) : prev_(num_workers()) { set_num_workers(p); }
+  ~WorkerOverride() { set_num_workers(prev_); }
+
+ private:
+  int prev_;
+};
+
+/// Serial floor for the fork-join overhead comparison: the same trip count
+/// with zero scheduling.
+void BM_SerialLoopBaseline(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (size_t i = 0; i < n; ++i) acc += i;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_SerialLoopBaseline)->Arg(1 << 10)->Arg(1 << 14);
+
+/// Fork-join overhead: grain=1 forces the task path, so every iteration is
+/// a potential split point — items/sec against the serial floor prices one
+/// spawned task (allocation + deque push + doorbell).
+void BM_ForkJoinOverhead(benchmark::State& state) {
+  WorkerOverride workers(4);
+  size_t n = size_t(state.range(0));
+  std::vector<std::atomic<uint64_t>> sink(64);
+  for (auto _ : state) {
+    parallel_for(
+        0, n,
+        [&](size_t i) {
+          sink[i & 63].fetch_add(i, std::memory_order_relaxed);
+        },
+        /*grain=*/1);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_ForkJoinOverhead)->Arg(1 << 10)->Arg(1 << 14);
+
+/// Steal throughput: a root chain on one worker spawns a long run of tiny
+/// tasks with a deliberately dry deque (grain=1, tiny bodies), so the other
+/// workers live off steals; tasks/sec measures the deque CAS + doorbell
+/// round-trip under contention.
+void BM_StealThroughput(benchmark::State& state) {
+  WorkerOverride workers(4);
+  Scheduler& s = Scheduler::instance();
+  size_t n = size_t(state.range(0));
+  uint64_t stolen_before = s.tasks_stolen();
+  for (auto _ : state) {
+    std::atomic<uint64_t> acc{0};
+    parallel_for(
+        0, n, [&](size_t) { acc.fetch_add(1, std::memory_order_relaxed); },
+        /*grain=*/1);
+    benchmark::DoNotOptimize(acc.load());
+  }
+  state.counters["steals"] = benchmark::Counter(
+      double(s.tasks_stolen() - stolen_before), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_StealThroughput)->Arg(1 << 12);
+
+/// parallel_for at the default adaptive grain — the shape every hot loop in
+/// core/ runs through.
+void BM_ParallelFor(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  std::vector<uint64_t> xs(n);
+  for (auto _ : state) {
+    parallel_for(0, n, [&](size_t i) { xs[i] = i * 2654435761u; });
+    benchmark::DoNotOptimize(xs.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_ParallelFor)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+/// Fixed-shape deterministic reduction (float sum — the non-commutative
+/// case the tree shape exists for).
+void BM_ParallelReduce(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  std::vector<float> xs(n);
+  Rng rng(5);
+  for (auto& x : xs) x = float(rng.next_below(1000)) * 1e-3f;
+  for (auto _ : state) {
+    float sum = parallel_reduce(
+        size_t{0}, n, 0.0f, [&](size_t i) { return xs[i]; },
+        [](float a, float b) { return a + b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_ParallelReduce)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+/// parallel_sort rides parallel_for for both the block sorts and the merge
+/// rounds; this complements BM_Sort in bench_primitives with a scheduler-
+/// focused size point.
+void BM_ParallelSortScheduler(benchmark::State& state) {
+  size_t n = size_t(state.range(0));
+  Rng rng(9);
+  std::vector<uint64_t> base(n);
+  for (auto& x : base) x = rng.next();
+  for (auto _ : state) {
+    auto xs = base;
+    parallel_sort(xs);
+    benchmark::DoNotOptimize(xs.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_ParallelSortScheduler)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace parspan
+
+BENCHMARK_MAIN();

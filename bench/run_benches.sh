@@ -3,6 +3,9 @@
 # the repo root, seeding the perf trajectory tracked across PRs:
 #   BENCH_spanner.json     — spanner construction + churn + update throughput
 #   BENCH_primitives.json  — scan / sort / pack substrate microbenchmarks
+#   BENCH_scheduler.json   — work-stealing scheduler: fork-join task
+#                            overhead vs the serial floor, steal
+#                            throughput, parallel_for/reduce/sort medians
 #   BENCH_extensions.json  — Theorems 1.4-1.6 (ultra / bundle / sparsifier)
 #                            size + batch-update throughput
 #   BENCH_service.json     — serving layer: mixed read/write throughput vs
@@ -93,6 +96,14 @@ merge "$tmpdir/bench_ultra_sparse.tmp.json" \
       "$tmpdir/bench_sparsifier.tmp.json" \
   >"$repo_root/BENCH_extensions.json"
 echo "wrote $repo_root/BENCH_extensions.json"
+
+echo "== scheduler benches (fork-join overhead + steal throughput) =="
+"$build_dir/bench_scheduler" \
+  --benchmark_format=json \
+  >"$tmpdir/bench_scheduler.tmp.json"
+merge "$tmpdir/bench_scheduler.tmp.json" \
+  >"$repo_root/BENCH_scheduler.json"
+echo "wrote $repo_root/BENCH_scheduler.json"
 
 echo "== service benches (snapshot serving layer) =="
 "$build_dir/bench_service" \

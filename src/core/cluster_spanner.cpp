@@ -311,15 +311,14 @@ void DecrementalClusterSpanner::remove_membership(VertexId x, VertexId c,
   }
 }
 
-void DecrementalClusterSpanner::flag_dirty(
-    VertexId v, std::vector<std::vector<VertexId>>& buckets) {
+void DecrementalClusterSpanner::flag_dirty(VertexId v, Buckets& buckets) {
   if (dirty_epoch_[v] == epoch_) return;
   dirty_epoch_[v] = epoch_;
   buckets[es_.dist(v)].push_back(v);
 }
 
-void DecrementalClusterSpanner::apply_cluster_change(
-    VertexId v, VertexId newc, std::vector<std::vector<VertexId>>& buckets) {
+void DecrementalClusterSpanner::apply_cluster_change(VertexId v, VertexId newc,
+                                                     Buckets& buckets) {
   VertexId oldc = cluster_[v];
   assert(newc != oldc);
   ++cluster_change_count_;
@@ -350,14 +349,19 @@ void DecrementalClusterSpanner::apply_cluster_change(
   });
 }
 
-SpannerDiff DecrementalClusterSpanner::delete_edges(
-    const std::vector<Edge>& batch) {
+SpannerDiff DecrementalClusterSpanner::delete_edges(std::span<const Edge> batch) {
   ++epoch_;
   assert(batch_delta_.empty() && "previous batch drained its delta");
 
+  // Everything batch-scoped below (doomed arc ids, dirty buckets) comes
+  // from the calling thread's bump arena and is reclaimed wholesale when
+  // this scope closes — steady state does zero system allocations per
+  // batch (DESIGN.md §12.5).
+  ArenaScope batch_scratch;
+
   // --- Step 1: kill edges; detach their InterCluster memberships using the
   // pre-batch cluster values. ---
-  std::vector<uint32_t> arc_ids;
+  ArenaVector<uint32_t> arc_ids;
   for (const Edge& e : batch) {
     auto idx = edge_index_.find(e.key());
     if (!idx || !alive_[*idx]) continue;
@@ -385,9 +389,8 @@ SpannerDiff DecrementalClusterSpanner::delete_edges(
       [&](size_t i) {
         VertexId v = rep.dist_changed[i];
         if (v < n_) distch_epoch_[v] = epoch_;
-      },
-      1024);
-  std::vector<std::vector<VertexId>> buckets(t_ + 2);
+      });
+  Buckets buckets(t_ + 2);
   for (auto& [v, old_arc] : rep.parent_changed)
     if (v < n_) flag_dirty(v, buckets);
 
@@ -401,7 +404,7 @@ SpannerDiff DecrementalClusterSpanner::delete_edges(
   // contribution and cluster changes serially in bucket order, so the diff
   // and every group-representative election stay deterministic.
   for (uint32_t d = 1; d <= t_; ++d) {
-    std::vector<VertexId>& bucket = buckets[d];
+    ArenaVector<VertexId>& bucket = buckets[d];
     // Cluster changes at level d only flag level d+1 (dist(w) == d+1), so
     // `bucket` is complete before the level starts.
     parallel_for(
@@ -414,7 +417,7 @@ SpannerDiff DecrementalClusterSpanner::delete_edges(
           else
             es_.rescan(v);
         },
-        64);
+        /*grain=*/1);
     for (size_t idx = 0; idx < bucket.size(); ++idx) {
       VertexId v = bucket[idx];
       refresh_tree_contrib(v);

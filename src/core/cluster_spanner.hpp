@@ -53,11 +53,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "container/concurrent_map.hpp"
 #include "container/flat_map.hpp"
 #include "core/es_tree.hpp"
+#include "parallel/arena.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -146,8 +149,13 @@ class DecrementalClusterSpanner {
   bool in_spanner(Edge e) const { return contrib_.contains(e.key()); }
 
   /// Deletes a batch of edges (absent/dead edges ignored); returns the net
-  /// spanner diff. Amortized work O(k log^2 n) per deleted edge.
-  SpannerDiff delete_edges(const std::vector<Edge>& batch);
+  /// spanner diff. Amortized work O(k log^2 n) per deleted edge. Takes a
+  /// span so callers can pass arena-backed batch scratch (DESIGN.md §12.5)
+  /// as well as plain vectors.
+  SpannerDiff delete_edges(std::span<const Edge> batch);
+  SpannerDiff delete_edges(std::initializer_list<Edge> batch) {
+    return delete_edges(std::span<const Edge>(batch.begin(), batch.size()));
+  }
 
   /// Cluster center of v (= v itself for cluster centers).
   VertexId cluster(VertexId v) const { return cluster_[v]; }
@@ -176,15 +184,18 @@ class DecrementalClusterSpanner {
     return (static_cast<uint64_t>(priority_[center]) << 32) | arc_id;
   }
 
+  /// Per-batch dirty-vertex buckets, one per ES level. Arena-backed: the
+  /// whole structure is scratch that dies with delete_edges' ArenaScope.
+  using Buckets = ArenaVector<ArenaVector<VertexId>>;
+
   VertexId cluster_from_parent(VertexId v) const;
   void refresh_tree_contrib(VertexId v);
   void add_contrib(EdgeKey e);
   void remove_contrib(EdgeKey e);
   void add_membership(VertexId x, VertexId c, VertexId other);
   void remove_membership(VertexId x, VertexId c, VertexId other);
-  void apply_cluster_change(VertexId v, VertexId newc,
-                            std::vector<std::vector<VertexId>>& buckets);
-  void flag_dirty(VertexId v, std::vector<std::vector<VertexId>>& buckets);
+  void apply_cluster_change(VertexId v, VertexId newc, Buckets& buckets);
+  void flag_dirty(VertexId v, Buckets& buckets);
 
   size_t n_ = 0;
   ClusterSpannerConfig cfg_;

@@ -1,6 +1,7 @@
 #include "core/es_tree.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "parallel/csr.hpp"
@@ -64,8 +65,7 @@ void ESTree::init(size_t n,
           if (lo == hi) return;
           std::sort(entries.begin() + lo, entries.begin() + hi);
           in_[v].build_sorted(entries.data() + lo, hi - lo);
-        },
-        256);
+        });
     counters_.treap_ops += num_arcs;
   }
 
@@ -96,7 +96,7 @@ void ESTree::init(size_t n,
     assert(a != kNoArc && "BFS-reached vertex must have a parent candidate");
     parent_arc_[v] = a;
     scan_key_[v] = arcs_[a].key;
-  }, 256);
+  });
 }
 
 int32_t ESTree::next_with(VertexId v, uint64_t from_key) {
@@ -115,9 +115,9 @@ int32_t ESTree::next_with(VertexId v, uint64_t from_key) {
   // the cluster cascade's phase A), where the shared counter add must be
   // atomic; serial callers skip the RMW. The sum is order-independent
   // either way, keeping the counters deterministic.
-  if (omp_in_parallel()) {
-#pragma omp atomic
-    counters_.scan_steps += steps;
+  if (in_parallel()) {
+    std::atomic_ref<uint64_t>(counters_.scan_steps)
+        .fetch_add(steps, std::memory_order_relaxed);
   } else {
     counters_.scan_steps += steps;
   }
@@ -132,8 +132,7 @@ void ESTree::note_parent_change(VertexId v) {
   }
 }
 
-ESTree::DeletionReport ESTree::delete_arcs(
-    const std::vector<uint32_t>& arc_ids) {
+ESTree::DeletionReport ESTree::delete_arcs(std::span<const uint32_t> arc_ids) {
   DeletionReport report;
   ++batch_epoch_;
 
@@ -166,8 +165,7 @@ ESTree::DeletionReport ESTree::delete_arcs(
           in_[dst].erase(arcs_[a].key);
           if (parent_arc_[dst] == int32_t(a)) lost_parent[g] = 1;
         }
-      },
-      16);
+      });
   counters_.treap_ops += doomed.size();
   std::vector<VertexId> orphaned;  // tree-arc destinations
   for (size_t g = 0; g < num_groups; ++g) {
@@ -192,7 +190,7 @@ ESTree::DeletionReport ESTree::delete_arcs(
     } else {
       scan_key_[v] = kHeadKey;  // reset for the post-bump rescan
     }
-  }, 64);
+  });
   for (VertexId v : orphaned) {
     if (parent_arc_[v] == kNoArc) {
       pending_by_dist[dist_[v]].push_back(v);
@@ -223,7 +221,7 @@ ESTree::DeletionReport ESTree::delete_arcs(
       } else {
         failed[idx] = 1;
       }
-    }, 64);
+    });
     std::vector<VertexId> unew;
     auto push_unew = [&](VertexId w) {
       if (in_unew_[w] != unew_epoch_) {

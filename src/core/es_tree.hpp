@@ -33,7 +33,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "container/counted_treap.hpp"
@@ -86,8 +88,14 @@ class ESTree {
   };
 
   /// Deletes a batch of arcs by id (ids into the init-time arc array).
-  /// Already-deleted ids are ignored. Runs Algorithm 1.
-  DeletionReport delete_arcs(const std::vector<uint32_t>& arc_ids);
+  /// Already-deleted ids are ignored. Runs Algorithm 1. Takes a span so
+  /// callers can pass arena-backed batch scratch (DESIGN.md §12.5) as well
+  /// as plain vectors.
+  DeletionReport delete_arcs(std::span<const uint32_t> arc_ids);
+  DeletionReport delete_arcs(std::initializer_list<uint32_t> arc_ids) {
+    return delete_arcs(std::span<const uint32_t>(arc_ids.begin(),
+                                                 arc_ids.size()));
+  }
 
   /// Distance label of v (L+1 if unreachable within L).
   uint32_t dist(VertexId v) const { return dist_[v]; }

@@ -1,11 +1,10 @@
 #include "core/fully_dynamic_spanner.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "parallel/arena.hpp"
 #include "parallel/csr.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/primitives.hpp"
@@ -142,8 +141,16 @@ SpannerDiff FullyDynamicSpanner::update(const std::vector<Edge>& insertions,
                                         const std::vector<Edge>& deletions) {
   assert(delta_.empty() && "previous batch drained its delta");
 
+  // Batch-scoped scratch (the routed deletion lists, the insertion key
+  // buffer) lives on the calling thread's bump arena and is reclaimed
+  // wholesale when the scope closes — the partition-rebuild path allocates
+  // these same shapes every batch (DESIGN.md §12.5). Job payloads that
+  // outlive the batch (job.merged moves into the new instance) stay on the
+  // heap.
+  ArenaScope batch_scratch;
+
   // --- Deletions: route to partitions through Index. ---
-  std::vector<std::vector<Edge>> per_part(parts_.size());
+  ArenaVector<ArenaVector<Edge>> per_part(parts_.size());
   for (const Edge& e : deletions) {
     uint32_t* slot = index_.find(e.key());
     if (slot == nullptr) continue;
@@ -162,7 +169,7 @@ SpannerDiff FullyDynamicSpanner::update(const std::vector<Edge>& insertions,
   }
 
   // --- Insertions: split U into U_r ∪ U_0 ∪ ... and merge upward. ---
-  std::vector<EdgeKey> u;
+  ArenaVector<EdgeKey> u;
   for (const Edge& e : insertions) {
     if (e.u == e.v || e.u >= n_ || e.v >= n_) continue;
     EdgeKey ek = e.key();
@@ -207,20 +214,22 @@ SpannerDiff FullyDynamicSpanner::update(const std::vector<Edge>& insertions,
 
   // --- Build the rebuilt decremental instances concurrently. ---
   // Jobs target disjoint slots and share no state; each construction is
-  // itself parallel, and nested regions degrade gracefully to serial inner
-  // loops. chunk 1 so distinct jobs land on distinct workers.
-#pragma omp parallel for schedule(dynamic, 1) \
-    if (jobs.size() > 1 && num_workers() > 1)
-  for (size_t idx = 0; idx < jobs.size(); ++idx) {
-    RebuildJob& job = jobs[idx];
-    if (job.cancelled) continue;
-    ClusterSpannerConfig scfg;
-    scfg.k = cfg_.k;
-    scfg.seed = job.seed;
-    job.built = std::make_unique<DecrementalClusterSpanner>(
-        n_, DecrementalClusterSpanner::FromSortedKeys{},
-        std::move(job.merged), scfg);
-  }
+  // itself parallel, and nested parallel_for calls steal from the same
+  // scheduler instead of oversubscribing. grain 1 so every job is its own
+  // task (few, heavy iterations).
+  parallel_for(
+      0, jobs.size(),
+      [&](size_t idx) {
+        RebuildJob& job = jobs[idx];
+        if (job.cancelled) return;
+        ClusterSpannerConfig scfg;
+        scfg.k = cfg_.k;
+        scfg.seed = job.seed;
+        job.built = std::make_unique<DecrementalClusterSpanner>(
+            n_, DecrementalClusterSpanner::FromSortedKeys{},
+            std::move(job.merged), scfg);
+      },
+      /*grain=*/1);
   // Install + account serially in job order: the diff stays deterministic
   // no matter how the parallel build phase was scheduled.
   for (RebuildJob& job : jobs) {

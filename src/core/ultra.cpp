@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "parallel/arena.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/primitives.hpp"
 #include "util/rng.hpp"
@@ -12,11 +13,14 @@ namespace parspan {
 
 namespace {
 
-/// Per-thread scratch slot for the current OpenMP worker. The pool must be
-/// sized (serially) before any parallel compute phase starts.
+/// Per-executor scratch slot for the calling thread. The pool must be sized
+/// to executor_slots() (serially) before any parallel compute phase starts:
+/// work stealing lets ANY scheduler thread run a loop body regardless of the
+/// active loop parallelism, so sizing by num_workers() alone would alias
+/// slots across threads.
 template <typename T>
 T& slot_for_thread(std::vector<T>& pool) {
-  return pool[size_t(omp_get_thread_num()) % pool.size()];
+  return pool[size_t(worker_slot()) % pool.size()];
 }
 
 }  // namespace
@@ -48,26 +52,21 @@ UltraSparseSpanner::UltraSparseSpanner(size_t n,
   // parallel loop itself.
   head_.assign(n, kBot);
   par_edge_.assign(n, kNoEdge);
-  scratch_.resize(size_t(std::max(1, num_workers())));
-  std::vector<HeadResult> res(n);
-  parallel_for(
-      0, n,
-      [&](size_t v) {
-        if (sampled_[v] || heavy(VertexId(v))) {
-          res[v] = compute_head(VertexId(v), slot_for_thread(scratch_));
-          head_[v] = res[v].head;
-        }
-      },
-      512);
-  parallel_for(
-      0, n,
-      [&](size_t v) {
-        if (!sampled_[v] && !heavy(VertexId(v))) {
-          res[v] = compute_head(VertexId(v), slot_for_thread(scratch_));
-          head_[v] = res[v].head;
-        }
-      },
-      64);
+  scratch_.resize(size_t(std::max(1, executor_slots())));
+  ArenaScope head_scratch;  // res is construction-scoped (DESIGN.md §12.5)
+  ArenaVector<HeadResult> res(n);
+  parallel_for(0, n, [&](size_t v) {
+    if (sampled_[v] || heavy(VertexId(v))) {
+      res[v] = compute_head(VertexId(v), slot_for_thread(scratch_));
+      head_[v] = res[v].head;
+    }
+  });
+  parallel_for(0, n, [&](size_t v) {
+    if (!sampled_[v] && !heavy(VertexId(v))) {
+      res[v] = compute_head(VertexId(v), slot_for_thread(scratch_));
+      head_[v] = res[v].head;
+    }
+  });
 
   // H1 parent edges + buckets + H2 edges (serial, canonical edge order).
   h2_ = std::make_unique<SmallComponentForest>(n);
@@ -362,9 +361,12 @@ SpannerDiff UltraSparseSpanner::update(const std::vector<Edge>& insertions,
   // light set against the committed heavy heads. Each phase computes heads
   // in parallel (reads committed state only) and commits serially in
   // ascending vertex order (DESIGN.md §7.2). ---
-  if (scratch_.size() < size_t(std::max(1, num_workers())))
-    scratch_.resize(size_t(std::max(1, num_workers())));
-  std::vector<HeadResult> hres(touched.size());
+  if (scratch_.size() < size_t(std::max(1, executor_slots())))
+    scratch_.resize(size_t(std::max(1, executor_slots())));
+  // Head-result arrays are the batch's big scratch: arena-backed, reclaimed
+  // when this scope closes at the end of the recomputation (§12.5).
+  ArenaScope recompute_scratch;
+  ArenaVector<HeadResult> hres(touched.size());
   parallel_for(
       0, touched.size(),
       [&](size_t i) {
@@ -372,7 +374,7 @@ SpannerDiff UltraSparseSpanner::update(const std::vector<Edge>& insertions,
         if (sampled_[v] || heavy(v))
           hres[i] = compute_head(v, slot_for_thread(scratch_));
       },
-      64);
+      /*grain=*/1);
   for (size_t i = 0; i < touched.size(); ++i) {
     VertexId v = touched[i];
     if (!sampled_[v] && !heavy(v)) continue;  // light handled below
@@ -383,13 +385,13 @@ SpannerDiff UltraSparseSpanner::update(const std::vector<Edge>& insertions,
     if (hr.head != head_[v] || par_edge_[v] != want) commit_head(v, hr);
   }
   std::vector<VertexId> lights = light_need_recompute(touched);
-  std::vector<HeadResult> lres(lights.size());
+  ArenaVector<HeadResult> lres(lights.size());
   parallel_for(
       0, lights.size(),
       [&](size_t i) {
         lres[i] = compute_head(lights[i], slot_for_thread(scratch_));
       },
-      4);
+      /*grain=*/1);
   for (size_t i = 0; i < lights.size(); ++i) {
     VertexId v = lights[i];
     const HeadResult& hr = lres[i];

@@ -1,0 +1,161 @@
+// Per-thread bump arenas for batch-scoped scratch (DESIGN.md §12.5).
+//
+// The rebuild hot paths allocate the same shapes every batch — candidate
+// buffers, per-partition merge inputs, head-result arrays — and profiling
+// showed malloc/free churn (and vector teardown) as real cost next to the
+// algorithmic work. An Arena is a chunked bump allocator: allocation is a
+// pointer add, and deallocation is popping the whole scope at batch end.
+// Chunks are retained across batches, so a warmed-up arena allocates from
+// memory it already owns and the steady-state cost of a batch's scratch is
+// zero calls into the system allocator.
+//
+// Lifetime rules (the ones DESIGN.md §12.5 spells out):
+//  * Scratch lives inside an ArenaScope; everything allocated after the
+//    scope opened is reclaimed when it closes (LIFO). Never return or store
+//    arena-backed containers past their scope.
+//  * thread_arena() is thread-local. A task body that wants arena scratch
+//    opens its OWN scope inside the task. Scopes then nest correctly even
+//    under join-stealing: when a worker's join loop helps execute a stolen
+//    task, the helped task's scope opens above the joiner's mark and closes
+//    before the join returns, so the outer scope's data is never clobbered.
+//  * An ArenaScope must not straddle a spawn: allocate before forking or
+//    inside the forked task, not across the boundary (the forked task may
+//    run on a different thread with a different arena).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace parspan {
+
+class Arena {
+ public:
+  struct Mark {
+    size_t chunk;
+    size_t used;
+  };
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(size_t bytes, size_t align) {
+    if (bytes == 0) bytes = 1;
+    for (;;) {
+      if (cur_ < chunks_.size()) {
+        Chunk& c = chunks_[cur_];
+        size_t base = reinterpret_cast<size_t>(c.data.get());
+        size_t at = (base + c.used + (align - 1)) & ~(align - 1);
+        size_t end = at + bytes;
+        if (end <= base + c.size) {
+          c.used = end - base;
+          return reinterpret_cast<void*>(at);
+        }
+        if (cur_ + 1 < chunks_.size()) {  // retained chunk from a past peak
+          chunks_[++cur_].used = 0;
+          continue;
+        }
+      }
+      size_t want = chunks_.empty() ? kMinChunk : chunks_.back().size * 2;
+      while (want < bytes + align) want *= 2;
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want, 0});
+      cur_ = chunks_.size() - 1;
+    }
+  }
+
+  Mark mark() const {
+    if (chunks_.empty()) return {0, 0};
+    return {cur_, chunks_[cur_].used};
+  }
+
+  /// Pops back to `m` (LIFO). Memory is retained for reuse, not freed.
+  void release(Mark m) {
+    if (chunks_.empty()) return;
+    for (size_t i = m.chunk + 1; i <= cur_ && i < chunks_.size(); ++i)
+      chunks_[i].used = 0;
+    cur_ = m.chunk;
+    chunks_[cur_].used = m.used;
+  }
+
+  /// Total bytes owned (observability for benches/tests).
+  size_t capacity() const {
+    size_t s = 0;
+    for (const Chunk& c : chunks_) s += c.size;
+    return s;
+  }
+
+ private:
+  static constexpr size_t kMinChunk = size_t(1) << 16;
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size;
+    size_t used;
+  };
+
+  std::vector<Chunk> chunks_;
+  size_t cur_ = 0;
+};
+
+/// The calling thread's arena (workers and external threads alike).
+inline Arena& thread_arena() {
+  static thread_local Arena a;
+  return a;
+}
+
+/// RAII scope: reclaims everything allocated from `arena` after
+/// construction. Open one per batch (or per task body) around the scratch.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena = thread_arena())
+      : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.release(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  Arena& arena() { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// std-compatible allocator over the calling thread's arena (or an explicit
+/// one). deallocate is a no-op — storage dies with the enclosing
+/// ArenaScope, which makes vector growth cheap but means peak usage is the
+/// sum of all capacities ever held in the scope; fine for batch scratch.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() : arena_(&thread_arena()) {}
+  explicit ArenaAllocator(Arena& a) : arena_(&a) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) : arena_(o.arena_) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const {
+    return arena_ == o.arena_;
+  }
+
+ private:
+  template <typename U>
+  friend class ArenaAllocator;
+  Arena* arena_;
+};
+
+/// Batch-scoped vector: identical interface to std::vector, storage from
+/// the thread arena. Must not outlive its ArenaScope.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace parspan

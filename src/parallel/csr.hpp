@@ -70,15 +70,17 @@ inline GroupedIndices group_by_key(size_t nbuckets,
   // every other block's.
   size_t bsz = (n + nblocks - 1) / nblocks;
   std::vector<uint32_t> counts(nblocks * nbuckets, 0);
-#pragma omp parallel for schedule(static)
-  for (size_t b = 0; b < nblocks; ++b) {
-    uint32_t* local = counts.data() + b * nbuckets;
-    size_t lo = b * bsz, hi = std::min(n, lo + bsz);
-    for (size_t i = lo; i < hi; ++i) {
-      assert(keys[i] < nbuckets);
-      ++local[keys[i]];
-    }
-  }
+  parallel_for(
+      0, nblocks,
+      [&](size_t b) {
+        uint32_t* local = counts.data() + b * nbuckets;
+        size_t lo = b * bsz, hi = std::min(n, lo + bsz);
+        for (size_t i = lo; i < hi; ++i) {
+          assert(keys[i] < nbuckets);
+          ++local[keys[i]];
+        }
+      },
+      /*grain=*/1);
   // Column-wise exclusive scan: cursor for (block b, bucket k) becomes
   // bucket_start(k) + sum of counts of k over blocks < b.
   parallel_for(0, nbuckets, [&](size_t k) {
@@ -91,14 +93,16 @@ inline GroupedIndices group_by_key(size_t nbuckets,
     out.offsets[k] = total;
   });
   exclusive_scan_inplace(out.offsets);  // offsets[k] = start of bucket k
-#pragma omp parallel for schedule(static)
-  for (size_t b = 0; b < nblocks; ++b) {
-    uint32_t* local = counts.data() + b * nbuckets;
-    size_t lo = b * bsz, hi = std::min(n, lo + bsz);
-    for (size_t i = lo; i < hi; ++i)
-      out.items[out.offsets[keys[i]] + local[keys[i]]++] =
-          static_cast<uint32_t>(i);
-  }
+  parallel_for(
+      0, nblocks,
+      [&](size_t b) {
+        uint32_t* local = counts.data() + b * nbuckets;
+        size_t lo = b * bsz, hi = std::min(n, lo + bsz);
+        for (size_t i = lo; i < hi; ++i)
+          out.items[out.offsets[keys[i]] + local[keys[i]]++] =
+              static_cast<uint32_t>(i);
+      },
+      /*grain=*/1);
   return out;
 }
 

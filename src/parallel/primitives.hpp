@@ -2,9 +2,15 @@
 // and sorting. These are the standard building blocks of work-depth algorithms
 // (cf. Blelloch's scan vocabulary) used throughout the batch-dynamic
 // structures to turn "per-element in parallel" pseudo-code into real loops.
+//
+// The blocked kernels (scan, sort) express their per-block phases as
+// parallel_for(..., /*grain=*/1) over block indices: each block is one heavy
+// task on the work-stealing scheduler, and lazy splitting keeps the fan-out
+// proportional to the actual parallel slack. Block decomposition is chosen
+// for load balance only — every kernel's output is independent of nblocks
+// (scan re-bases each block on an exact prefix; the merge rounds are a
+// fixed shape given nblocks).
 #pragma once
-
-#include <omp.h>
 
 #include <algorithm>
 #include <cstddef>
@@ -35,29 +41,33 @@ T exclusive_scan_inplace(std::vector<T>& xs) {
   size_t nblocks = static_cast<size_t>(p) * 4;
   size_t bsz = (n + nblocks - 1) / nblocks;
   std::vector<T> block_sum(nblocks, T{});
-#pragma omp parallel for schedule(static)
-  for (size_t b = 0; b < nblocks; ++b) {
-    size_t lo = b * bsz, hi = std::min(n, lo + bsz);
-    T acc{};
-    for (size_t i = lo; i < hi; ++i) acc += xs[i];
-    block_sum[b] = acc;
-  }
+  parallel_for(
+      0, nblocks,
+      [&](size_t b) {
+        size_t lo = b * bsz, hi = std::min(n, lo + bsz);
+        T acc{};
+        for (size_t i = lo; i < hi; ++i) acc += xs[i];
+        block_sum[b] = acc;
+      },
+      /*grain=*/1);
   T total{};
   for (size_t b = 0; b < nblocks; ++b) {
     T x = block_sum[b];
     block_sum[b] = total;
     total += x;
   }
-#pragma omp parallel for schedule(static)
-  for (size_t b = 0; b < nblocks; ++b) {
-    size_t lo = b * bsz, hi = std::min(n, lo + bsz);
-    T acc = block_sum[b];
-    for (size_t i = lo; i < hi; ++i) {
-      T x = xs[i];
-      xs[i] = acc;
-      acc += x;
-    }
-  }
+  parallel_for(
+      0, nblocks,
+      [&](size_t b) {
+        size_t lo = b * bsz, hi = std::min(n, lo + bsz);
+        T acc = block_sum[b];
+        for (size_t i = lo; i < hi; ++i) {
+          T x = xs[i];
+          xs[i] = acc;
+          acc += x;
+        }
+      },
+      /*grain=*/1);
   return total;
 }
 
@@ -95,21 +105,28 @@ void parallel_sort(std::vector<T>& xs, Cmp cmp = Cmp{}) {
   size_t nblocks = 1;
   while (nblocks < static_cast<size_t>(p)) nblocks <<= 1;
   size_t bsz = (n + nblocks - 1) / nblocks;
-#pragma omp parallel for schedule(static)
-  for (size_t b = 0; b < nblocks; ++b) {
-    size_t lo = b * bsz, hi = std::min(n, lo + bsz);
-    if (lo < hi) std::sort(xs.begin() + lo, xs.begin() + hi, cmp);
-  }
+  parallel_for(
+      0, nblocks,
+      [&](size_t b) {
+        size_t lo = b * bsz, hi = std::min(n, lo + bsz);
+        if (lo < hi) std::sort(xs.begin() + lo, xs.begin() + hi, cmp);
+      },
+      /*grain=*/1);
   // Pairwise merges, halving block count each round (log depth).
   std::vector<T> tmp(n);
   for (size_t width = bsz; width < n; width *= 2) {
-#pragma omp parallel for schedule(dynamic, 1)
-    for (size_t lo = 0; lo < n; lo += 2 * width) {
-      size_t mid = std::min(n, lo + width);
-      size_t hi = std::min(n, lo + 2 * width);
-      std::merge(xs.begin() + lo, xs.begin() + mid, xs.begin() + mid,
-                 xs.begin() + hi, tmp.begin() + lo, cmp);
-    }
+    size_t stride = 2 * width;
+    size_t npairs = (n + stride - 1) / stride;
+    parallel_for(
+        0, npairs,
+        [&](size_t pair) {
+          size_t lo = pair * stride;
+          size_t mid = std::min(n, lo + width);
+          size_t hi = std::min(n, lo + stride);
+          std::merge(xs.begin() + lo, xs.begin() + mid, xs.begin() + mid,
+                     xs.begin() + hi, tmp.begin() + lo, cmp);
+        },
+        /*grain=*/1);
     std::swap(xs, tmp);
   }
 }

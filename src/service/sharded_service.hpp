@@ -10,16 +10,22 @@
 //
 //   submit() ── ShardRouter ──> per-shard BatchQueue (bounded, coalescing)
 //                                        │ drained by
-//                               WorkerPool writers (any count)
+//                               WorkerPool drain tasks on the process-wide
+//                               work-stealing Scheduler (DESIGN.md §12)
 //                                        │ backend update + publish
 //                               per-shard SnapshotStore versions
 //
 // Batch-dynamic throughput comes from routing independent work onto
 // independent structures (cf. the batch-dynamic forests/connectivity
-// literature): distinct shards never share mutable state, so W writer
-// threads drain up to W shards genuinely in parallel, each reusing the §8
+// literature): distinct shards never share mutable state, so up to
+// num_writers shards drain genuinely in parallel, each reusing the §8
 // single-writer snapshot protocol unchanged (WorkerPool's slot exclusivity
-// IS the per-shard single-writer guarantee).
+// IS the per-shard single-writer guarantee). Each drain is a scheduler
+// task whose affinity hint is the shard index — a shard keeps draining on
+// its home worker (warm caches) until imbalance makes another worker steal
+// it — and a backend update that calls parallel_for forks into the SAME
+// scheduler, so rebuild parallelism and drain parallelism share one set of
+// threads instead of oversubscribing each other.
 //
 // Two routing modes (pluggable via ShardRouter):
 //  * multi-tenant (GraphIdRouter, the multi-graph default): shard g hosts
@@ -171,8 +177,9 @@ struct ShardedDurabilityConfig {
 };
 
 struct ShardedConfig {
-  /// Writer-pool size. Writers are work-conserving: any writer drains any
-  /// shard with pending work (per-shard exclusivity enforced by the pool).
+  /// Drain concurrency cap: at most this many shards drain at once on the
+  /// process-wide scheduler. Drains are work-conserving — any worker runs
+  /// any ready shard's drain (per-shard exclusivity enforced by the pool).
   int num_writers = 1;
   /// Admission bound on distinct pending edge keys per shard queue: a
   /// submit is admitted only while the count is below it (so one admitted

@@ -1,0 +1,281 @@
+// Stress suite for the in-repo work-stealing scheduler (DESIGN.md §12).
+//
+// These tests deliberately target the scheduler's hard cases: nested
+// fork-join under stealing, steal-vs-complete races on the last deque slot,
+// the park/doorbell protocol (lost-wakeup hunting), exception propagation
+// through abandoned loop chunks, and the fixed-shape reduce tree that keeps
+// non-commutative float sums byte-identical across worker counts. CI runs
+// this binary under the `concurrency` label with `--repeat until-fail:3`
+// and under TSan with 4 real workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace parspan {
+namespace {
+
+/// RAII worker-count override so a test can force a parallelism level
+/// without leaking it into the rest of the binary.
+class WorkerGuard {
+ public:
+  explicit WorkerGuard(int p) : prev_(num_workers()) { set_num_workers(p); }
+  ~WorkerGuard() { set_num_workers(prev_); }
+
+ private:
+  int prev_;
+};
+
+TEST(SchedulerTest, TripCountOneSpawnsNothing) {
+  WorkerGuard guard(4);
+  Scheduler& s = Scheduler::instance();
+  uint64_t before = s.tasks_spawned();
+  int hits = 0;
+  parallel_for(0, 1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++hits;
+  });
+  // Pinned contract (parallel_for.hpp): a trip count of 1 runs inline on
+  // the calling thread and never touches the scheduler.
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(s.tasks_spawned(), before);
+
+  // Same with an explicit grain — the n==1 fast path wins over grain=1.
+  before = s.tasks_spawned();
+  parallel_for(5, 6, [&](size_t) { ++hits; }, /*grain=*/1);
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(s.tasks_spawned(), before);
+}
+
+TEST(SchedulerTest, EveryIndexExactlyOnce) {
+  WorkerGuard guard(4);
+  constexpr size_t kN = 200000;
+  std::vector<std::atomic<uint32_t>> hits(kN);
+  parallel_for(0, kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1u) << "index " << i;
+}
+
+TEST(SchedulerTest, NestedForkJoinDepth) {
+  WorkerGuard guard(4);
+  // Three levels of parallel_for nesting with grain=1 at the top so every
+  // outer iteration is its own task: inner loops must steal from the same
+  // pool (not oversubscribe) and inner joins must not swallow sibling
+  // outer tasks (help_one excludes root tasks; fork-join helping is safe
+  // because every helped task belongs to some join that waits for it).
+  constexpr size_t kOuter = 16, kMid = 32, kInner = 64;
+  std::atomic<uint64_t> sum{0};
+  parallel_for(
+      0, kOuter,
+      [&](size_t a) {
+        parallel_for(
+            0, kMid,
+            [&](size_t b) {
+              parallel_for(
+                  0, kInner,
+                  [&](size_t c) {
+                    sum.fetch_add(a * kMid * kInner + b * kInner + c,
+                                  std::memory_order_relaxed);
+                  },
+                  /*grain=*/1);
+            },
+            /*grain=*/1);
+      },
+      /*grain=*/1);
+  constexpr uint64_t kTotal = kOuter * kMid * kInner;
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+TEST(SchedulerTest, StealVersusCompleteRace) {
+  WorkerGuard guard(4);
+  // Many short rounds of tiny loops: each round drains its deques to
+  // near-empty, so pop and steal repeatedly contend for the LAST element —
+  // the CAS arbitration path of the Chase-Lev deque. Executing an index
+  // twice (both sides "win") or zero times (both sides lose) shows up as a
+  // count mismatch.
+  constexpr int kRounds = 400;
+  constexpr size_t kN = 64;
+  for (int r = 0; r < kRounds; ++r) {
+    std::atomic<uint32_t> count{0};
+    parallel_for(
+        0, kN, [&](size_t) { count.fetch_add(1, std::memory_order_relaxed); },
+        /*grain=*/1);
+    ASSERT_EQ(count.load(), kN) << "round " << r;
+  }
+}
+
+TEST(SchedulerTest, ParkWakeLostWakeupHunt) {
+  WorkerGuard guard(4);
+  // Alternate compute bursts with idle gaps long enough for workers to
+  // park, then hit the doorbell again from an external thread. A lost
+  // wakeup (push races park, nobody rings) leaves the loop's join waiting
+  // forever — caught by the ctest TIMEOUT, and by TSan as a deadlock.
+  constexpr int kRounds = 60;
+  for (int r = 0; r < kRounds; ++r) {
+    std::atomic<uint64_t> acc{0};
+    parallel_for(
+        0, 256,
+        [&](size_t i) { acc.fetch_add(i, std::memory_order_relaxed); },
+        /*grain=*/1);
+    EXPECT_EQ(acc.load(), 256u * 255u / 2);
+    if (r % 4 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(SchedulerTest, ConcurrentExternalSubmitters) {
+  WorkerGuard guard(4);
+  // Several external threads drive independent loops through the shared
+  // pool at once — the service layer's shape (each drain is a root task
+  // that fans out nested parallel work).
+  constexpr int kThreads = 4;
+  constexpr size_t kN = 20000;
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> results(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<uint32_t> data(kN);
+      parallel_for(0, kN, [&](size_t i) {
+        data[i] = uint32_t(i) * 2654435761u + uint32_t(t);
+      });
+      uint64_t sum = 0;
+      for (uint32_t x : data) sum += x;
+      results[size_t(t)] = sum;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    uint64_t expect = 0;
+    for (size_t i = 0; i < kN; ++i)
+      expect += uint32_t(i) * 2654435761u + uint32_t(t);
+    EXPECT_EQ(results[size_t(t)], expect) << "thread " << t;
+  }
+}
+
+TEST(SchedulerTest, ExceptionPropagatesFromWorkerChunk) {
+  WorkerGuard guard(4);
+  constexpr size_t kN = 100000;
+  std::atomic<uint32_t> ran{0};
+  bool caught = false;
+  try {
+    parallel_for(
+        0, kN,
+        [&](size_t i) {
+          if (i == kN / 2) throw std::runtime_error("boom at midpoint");
+          ran.fetch_add(1, std::memory_order_relaxed);
+        },
+        /*grain=*/64);
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "boom at midpoint");
+  }
+  EXPECT_TRUE(caught);
+  // Abandoned chunks may skip work, but never run an index twice.
+  EXPECT_LT(ran.load(), kN);
+
+  // The scheduler must be fully usable after an exceptional loop.
+  std::atomic<uint32_t> after{0};
+  parallel_for(0, 1000, [&](size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  }, /*grain=*/1);
+  EXPECT_EQ(after.load(), 1000u);
+}
+
+TEST(SchedulerTest, ExceptionPropagatesFromReduce) {
+  WorkerGuard guard(4);
+  EXPECT_THROW(
+      parallel_reduce(
+          size_t{0}, size_t{100000}, uint64_t{0},
+          [](size_t i) -> uint64_t {
+            if (i == 77777) throw std::logic_error("reduce leaf failed");
+            return i;
+          },
+          [](uint64_t a, uint64_t b) { return a + b; }, /*grain=*/128),
+      std::logic_error);
+}
+
+TEST(SchedulerTest, ReduceFloatDeterministicAcrossWorkerCounts) {
+  // Non-commutative-in-practice float addition: the reduce tree's shape is
+  // f(n, grain) only, so every worker count — including the pure serial
+  // path — must produce bit-identical sums (DESIGN.md §12.4).
+  constexpr size_t kN = 150000;
+  std::vector<float> xs(kN);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (auto& x : xs) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    x = float(state >> 40) * 1e-6f - 8.0f;
+  }
+  auto run = [&](int p) {
+    WorkerGuard guard(p);
+    return parallel_reduce(
+        size_t{0}, kN, 0.0f, [&](size_t i) { return xs[i]; },
+        [](float a, float b) { return a + b; }, /*grain=*/256);
+  };
+  float serial = run(1);
+  float two = run(2);
+  float four = run(4);
+  EXPECT_EQ(std::bit_cast<uint32_t>(serial), std::bit_cast<uint32_t>(two));
+  EXPECT_EQ(std::bit_cast<uint32_t>(serial), std::bit_cast<uint32_t>(four));
+  // Sanity: the naive left fold DIFFERS from the tree sum for this data —
+  // i.e. the test would notice a shape change.
+  float naive = 0.0f;
+  for (float x : xs) naive += x;
+  EXPECT_NE(std::bit_cast<uint32_t>(serial), std::bit_cast<uint32_t>(naive));
+}
+
+TEST(SchedulerTest, ReduceFoldsInitExactlyOnce) {
+  WorkerGuard guard(4);
+  // Sum with a recognizable init: if any leaf re-seeded from init the
+  // total would overshoot by a multiple of it.
+  constexpr size_t kN = 50000;
+  uint64_t got = parallel_reduce(
+      size_t{0}, kN, uint64_t{1000000000000ull},
+      [](size_t i) { return uint64_t(i); },
+      [](uint64_t a, uint64_t b) { return a + b; }, /*grain=*/64);
+  EXPECT_EQ(got, 1000000000000ull + uint64_t(kN) * (kN - 1) / 2);
+}
+
+TEST(SchedulerTest, SortAndScanUnderContention) {
+  WorkerGuard guard(4);
+  // The blocked primitives ride parallel_for; run them concurrently from
+  // two external threads to cross their tasks in the shared deques.
+  auto work = [](uint64_t seed) {
+    std::vector<uint64_t> xs(120000);
+    uint64_t state = seed;
+    for (auto& x : xs) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      x = state;
+    }
+    auto expect = xs;
+    std::sort(expect.begin(), expect.end());
+    parallel_sort(xs);
+    ASSERT_EQ(xs, expect);
+  };
+  std::thread a(work, 17), b(work, 91);
+  a.join();
+  b.join();
+}
+
+TEST(SchedulerTest, StatsAdvanceUnderParallelism) {
+  WorkerGuard guard(4);
+  Scheduler& s = Scheduler::instance();
+  EXPECT_GE(s.executor_slots(), 5);  // >= 4 pool threads + external slot 0
+  uint64_t before = s.tasks_spawned();
+  parallel_for(0, 4096, [](size_t) {}, /*grain=*/1);
+  EXPECT_GT(s.tasks_spawned(), before);
+}
+
+}  // namespace
+}  // namespace parspan

@@ -186,6 +186,53 @@ TEST(WorkerPool, SlotExclusivityAndNoLostWakeups) {
   pool.stop();
 }
 
+// The double-scheduling hazard of the unified scheduler (DESIGN.md §12.3):
+// a drain is itself a scheduler task, and a drain body that calls
+// parallel_for forks MORE tasks into the same pool. stop() must not wait on
+// a drain whose nested tasks can no longer run, and a notify landing while
+// the pool is stopping must neither launch nor leak. With every pool
+// thread occupied by a drain, the drains' own join loops must execute the
+// nested tasks (help-first), or this test deadlocks into the ctest TIMEOUT.
+TEST(WorkerPool, StopDuringNestedParallelForDrains) {
+  int prev_workers = num_workers();
+  set_num_workers(4);
+  for (int round = 0; round < 20; ++round) {
+    const size_t slots = 4;
+    std::vector<std::atomic<int>> running(slots);
+    for (auto& r : running) r.store(0);
+    std::atomic<uint64_t> work_done{0};
+    WorkerPool pool(4, slots, [&](size_t s) {
+      EXPECT_EQ(running[s].fetch_add(1), 0);
+      // Nested fork-join inside the drain: grain=1 forces real task spawns.
+      parallel_for(
+          0, 64,
+          [&](size_t) { work_done.fetch_add(1, std::memory_order_relaxed); },
+          /*grain=*/1);
+      running[s].fetch_sub(1);
+      return false;
+    });
+    std::atomic<bool> stop{false};
+    std::thread producer([&] {
+      uint64_t x = uint64_t(round) + 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        x = splitmix64(x);
+        pool.notify(size_t(x % slots));
+      }
+    });
+    // Vary the teardown instant: sometimes drains are mid-parallel_for,
+    // sometimes queued-but-unstarted, sometimes the pool is idle.
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * (round % 5)));
+    pool.stop();  // must return: no drain may strand its nested tasks
+    stop.store(true, std::memory_order_relaxed);
+    producer.join();
+    uint64_t after_stop = work_done.load();
+    pool.notify(0);  // no-op after stop
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(work_done.load(), after_stop);
+  }
+  set_num_workers(prev_workers);
+}
+
 // --- Determinism: per-shard diffs/checksums across writer counts. ----------
 // Paused rounds bound every drain at a flush() barrier, so batch contents
 // are a pure function of the submit stream — 1-writer and 4-writer runs
@@ -570,6 +617,58 @@ TEST(Sharded, ResumeDrainsPendingWithoutFlush) {
 }
 
 // --- Ingest-to-visible latency instrumentation sanity. ---------------------
+// --- pause()/flush() round boundaries while drains fork nested work. -------
+// Each flush() while paused drains exactly one round; the shard backends'
+// update() calls run nested parallel loops on the same scheduler that runs
+// the drain tasks themselves. Cycling pause → submit → flush → resume under
+// a concurrent submitter checks that round boundaries stay exact (versions
+// advance only at flush) and that a pausing pool never deadlocks a drain
+// whose nested parallel_for tasks still need pool threads.
+TEST(Sharded, PauseFlushRoundBoundariesUnderNestedParallelism) {
+  int prev_workers = num_workers();
+  set_num_workers(4);
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  ShardedConfig sc;
+  sc.num_writers = 3;
+  auto svc = ShardedSpannerService::single_graph(
+      200, gen_erdos_renyi(160, 600, 5), 4, cfg, sc);
+  svc->flush();
+
+  std::atomic<bool> stop{false};
+  std::thread submitter([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      VertexId u = VertexId(i % 160), v = VertexId((i * 31 + 7) % 160);
+      if (u != v) svc->submit({Edge(u, v)}, {});
+      ++i;
+    }
+  });
+
+  for (int round = 0; round < 10; ++round) {
+    svc->pause();
+    // Isolated-pair probe for this round (vertices 160.. have no other
+    // incident edges): parked until the flush barrier, visible after.
+    const Edge probe(VertexId(160 + 2 * round), VertexId(161 + 2 * round));
+    VersionVector before = svc->versions();
+    svc->submit({probe}, {});
+    EXPECT_FALSE(svc->view().has_edge(probe.u, probe.v));
+    VersionVector after = svc->flush();
+    EXPECT_TRUE(after.dominates(before));
+    EXPECT_TRUE(svc->view().has_edge(probe.u, probe.v));
+    svc->resume();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  submitter.join();
+  svc->flush();
+  // Every probe from every paused round survived the free-running churn.
+  for (int round = 0; round < 10; ++round)
+    EXPECT_TRUE(svc->view().has_edge(VertexId(160 + 2 * round),
+                                     VertexId(161 + 2 * round)));
+  svc.reset();
+  set_num_workers(prev_workers);
+}
+
 TEST(BatchQueue, SubmitForTimesOutOnFullQueueAndAdmitsAfterDrain) {
   BatchQueue q(2);  // admission bound: 2 distinct pending keys
   ASSERT_TRUE(q.submit_for({Edge(0, 1), Edge(1, 2)}, {},
