@@ -19,6 +19,10 @@
 #   BENCH_replication.json — WAL shipping: leader->follower ship+apply
 #                            throughput, follower lag catch-up, and
 #                            failover promotion cost
+#   BENCH_net.json         — network front door: closed-loop request
+#                            latency (p50/p99/p999) + saturated QPS via
+#                            tools/loadgen at 1000 connections, plus the
+#                            smoke-size config CI re-runs for deltas
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: ./build)
 #
@@ -145,3 +149,14 @@ echo "== replication benches (WAL shipping + follower catch-up + failover) =="
 merge "$tmpdir/bench_replication.tmp.json" \
   >"$repo_root/BENCH_replication.json"
 echo "wrote $repo_root/BENCH_replication.json"
+
+echo "== net front door (loadgen: 1000-conn full + smoke configs) =="
+# loadgen is not a google-benchmark binary but emits the same JSON shape
+# (rows net/<mode>/conns:<N>/{p50,p99,p999,ns_per_req}); --full runs the
+# 1000-connection config AND the smoke config in one process so CI's
+# `loadgen --smoke` rows always have baseline names to diff against.
+"$build_dir/loadgen" --full --json \
+  >"$tmpdir/loadgen.tmp.json"
+merge "$tmpdir/loadgen.tmp.json" \
+  >"$repo_root/BENCH_net.json"
+echo "wrote $repo_root/BENCH_net.json"

@@ -1,0 +1,201 @@
+// Shared byte-level codec for every length-prefixed, CRC32C-framed stream
+// in the repo: WAL segments (DESIGN.md §10.2), checkpoints, replication
+// ship frames (§11.2), and the network wire protocol (§13). Extracted from
+// the WAL so the conventions stay frozen in exactly one place:
+//
+//   * fixed-width integers are little-endian by explicit byte
+//     serialization — the encoded image is identical on every platform;
+//   * frames are `payload_len u32 | crc32c(payload) u32 | payload`;
+//   * strictly-ascending integer lists (sorted edge keys, neighbor ids)
+//     are LEB128 varint-delta compressed: first value absolute, each
+//     subsequent value as the delta to its predecessor (>= 1 by
+//     construction — a zero delta PROVES the frame malformed, the decoder
+//     never has to trust the sender's sortedness claim).
+//
+// Everything here is pure byte manipulation with no I/O: the WAL writer
+// frames into its staging buffer, the net server frames into a
+// connection's output buffer, and both parse with the same incremental
+// `parse_frame` that a torn tail or a hostile client can only drive to
+// kBad/kNeedMore, never past the end of the input.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace parspan {
+
+/// CRC32C (Castagnoli) of a byte range — the frame integrity check.
+/// Defined in wal.cpp (slice-by-8 software tables; golden
+/// crc32c("123456789") = 0xE3069283 pinned in tests/test_durability.cpp).
+uint32_t crc32c(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+// --- Little-endian scalar codec ---------------------------------------------
+
+inline void put_le32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(uint8_t(v >> (8 * i)));
+}
+inline void put_le64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(uint8_t(v >> (8 * i)));
+}
+inline uint32_t get_le32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(p[i]) << (8 * i);
+  return v;
+}
+inline uint64_t get_le64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(p[i]) << (8 * i);
+  return v;
+}
+// Raw-pointer variants for pre-sized buffers: the byte shifts compile to a
+// single unaligned store on little-endian targets, so bulk key
+// serialization is a memcpy in practice while staying endian-exact.
+inline void store_le32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = uint8_t(v >> (8 * i));
+}
+inline void store_le64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = uint8_t(v >> (8 * i));
+}
+
+// LEB128 varints for the delta-compressed lists. A u64 takes at most
+// 10 bytes; a typical sorted-key delta takes 1-3.
+constexpr size_t kMaxUvarintLen = 10;
+inline size_t put_uvarint(uint8_t* p, uint64_t v) {
+  size_t i = 0;
+  while (v >= 0x80) {
+    p[i++] = uint8_t(v) | 0x80;
+    v >>= 7;
+  }
+  p[i++] = uint8_t(v);
+  return i;
+}
+/// Advances *p past the varint on success; false on truncation or a
+/// non-canonical 10-byte overflow.
+inline bool get_uvarint(const uint8_t** p, const uint8_t* end, uint64_t* v) {
+  uint64_t r = 0;
+  int shift = 0;
+  const uint8_t* q = *p;
+  for (size_t i = 0; i < kMaxUvarintLen && q < end; ++i) {
+    uint8_t b = *q++;
+    if (shift == 63 && b > 1) return false;  // would overflow u64
+    r |= uint64_t(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *p = q;
+      *v = r;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+// --- Frame codec ------------------------------------------------------------
+
+/// `payload_len u32 | crc32c(payload) u32` precede every framed payload.
+constexpr size_t kFrameHeaderSize = 4 + 4;
+
+/// A torn or hostile length field can claim anything; cap what a frame may
+/// say so a garbage length fails fast instead of "needing" exabytes.
+/// Streams with tighter budgets (the net server's per-connection limit)
+/// enforce their own smaller cap on top.
+constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+/// Writes the frame header for a payload already encoded in place at
+/// `frame + kFrameHeaderSize` (the WAL's staging buffer and the net
+/// server's output buffer both encode payloads in place, then seal).
+inline void seal_frame(uint8_t* frame, size_t payload_len) {
+  store_le32(frame, uint32_t(payload_len));
+  store_le32(frame + 4, crc32c(frame + kFrameHeaderSize, payload_len));
+}
+
+/// Appends one sealed frame around `payload` (the copy-in convenience
+/// path; hot paths encode in place and seal_frame()).
+inline void append_frame(std::vector<uint8_t>& out, const uint8_t* payload,
+                         size_t len) {
+  const size_t at = out.size();
+  out.resize(at + kFrameHeaderSize + len);
+  uint8_t* frame = out.data() + at;
+  for (size_t i = 0; i < len; ++i) frame[kFrameHeaderSize + i] = payload[i];
+  seal_frame(frame, len);
+}
+
+enum class FrameParse : uint8_t {
+  kNeedMore,  // the buffer ends mid-header or mid-payload: read more bytes
+  kOk,        // one structurally valid frame parsed
+  kBad,       // oversized length claim or CRC mismatch: the stream is dead
+};
+
+/// One parsed frame: payload points INTO the caller's buffer (valid until
+/// the buffer moves), `consumed` is what to advance past on kOk.
+struct FrameView {
+  const uint8_t* payload = nullptr;
+  uint32_t len = 0;
+  size_t consumed = 0;
+};
+
+/// Incremental frame parser over `avail` buffered bytes. kNeedMore is the
+/// streaming case (a WAL tail cut mid-frame, a TCP read that stopped
+/// mid-payload); kBad is the torn/corrupt/hostile case — the caller stops
+/// replay (WAL) or closes the connection (net), it NEVER skips bytes
+/// hunting for the next frame (DESIGN.md §10.3's torn-tail rule).
+inline FrameParse parse_frame(const uint8_t* data, size_t avail,
+                              uint32_t max_payload, FrameView* out) {
+  if (avail < kFrameHeaderSize) return FrameParse::kNeedMore;
+  const uint32_t len = get_le32(data);
+  const uint32_t crc = get_le32(data + 4);
+  if (len > max_payload) return FrameParse::kBad;
+  if (avail - kFrameHeaderSize < len) return FrameParse::kNeedMore;
+  const uint8_t* payload = data + kFrameHeaderSize;
+  if (crc32c(payload, len) != crc) return FrameParse::kBad;
+  out->payload = payload;
+  out->len = len;
+  out->consumed = kFrameHeaderSize + size_t(len);
+  return FrameParse::kOk;
+}
+
+// --- Strictly-ascending list codec ------------------------------------------
+
+/// Worst-case encoded size of an n-element ascending list.
+inline size_t ascending_list_bound(size_t n) { return kMaxUvarintLen * n; }
+
+/// Varint-delta encodes a strictly ascending list in place; returns one
+/// past the last byte written. The caller guarantees ascent (asserted) —
+/// sorted canonical edge keys and ascending neighbor ids by construction.
+template <typename UInt>
+inline uint8_t* encode_ascending_list(const UInt* v, size_t n, uint8_t* p) {
+  uint64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t k = uint64_t(v[i]);
+    assert((i == 0 || k > prev) && "encoded lists must be strictly ascending");
+    p += put_uvarint(p, i == 0 ? k : k - prev);
+    prev = k;
+  }
+  return p;
+}
+
+/// Decodes one delta-compressed list of `cnt` values; false on truncation,
+/// a zero delta (the list would not be strictly ascending), overflow, or a
+/// value exceeding UInt's range — the decoder PROVES every structural
+/// claim the encoder made.
+template <typename UInt>
+inline bool decode_ascending_list(const uint8_t** p, const uint8_t* end,
+                                  uint64_t cnt, std::vector<UInt>* out) {
+  out->clear();
+  if (cnt > uint64_t(end - *p)) return false;  // >= 1 byte per varint
+  out->reserve(size_t(cnt));
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < cnt; ++i) {
+    uint64_t d = 0;
+    if (!get_uvarint(p, end, &d)) return false;
+    if (i > 0 && (d == 0 || d > UINT64_MAX - prev)) return false;
+    prev = i == 0 ? d : prev + d;
+    if constexpr (sizeof(UInt) < 8) {
+      if (prev > uint64_t(UInt(-1))) return false;
+    }
+    out->push_back(UInt(prev));
+  }
+  return true;
+}
+
+}  // namespace parspan

@@ -31,10 +31,6 @@ std::array<std::array<uint32_t, 256>, 8> make_crc32c_tables() {
 
 constexpr uint64_t kWalMagic = 0x31304C4157505350ULL;  // "PSPWAL01" LE
 constexpr size_t kWalHeaderSize = 8 + 8 + 8 + 4;
-constexpr size_t kFrameHeaderSize = 4 + 4;
-// A torn length field can claim anything; cap what a frame may say so a
-// garbage length fails fast instead of "needing" exabytes.
-constexpr uint32_t kMaxFramePayload = 1u << 30;
 
 }  // namespace
 
@@ -120,33 +116,12 @@ uint8_t* encode_wal_record_to(const WalRecord& rec, uint8_t* p) {
   for (const std::vector<EdgeKey>* v :
        {&rec.input_deleted, &rec.input_inserted, &rec.diff_removed,
         &rec.diff_inserted}) {
-    uint64_t prev = 0;
-    bool first = true;
-    for (EdgeKey k : *v) {
-      assert((first || k > prev) && "WAL key lists must be strictly ascending");
-      p += put_uvarint(p, first ? k : k - prev);
-      prev = k;
-      first = false;
-    }
+    assert(std::is_sorted(v->begin(), v->end()) &&
+           std::adjacent_find(v->begin(), v->end()) == v->end() &&
+           "WAL key lists must be strictly ascending");
+    p = encode_ascending_list(v->data(), v->size(), p);
   }
   return p;
-}
-
-// Decodes one delta-compressed list of `cnt` keys; false on truncation, a
-// zero delta (not strictly ascending), or key overflow.
-bool decode_key_list(const uint8_t** p, const uint8_t* end, uint64_t cnt,
-                     std::vector<EdgeKey>* out) {
-  out->clear();
-  out->reserve(cnt);
-  uint64_t prev = 0;
-  for (uint64_t i = 0; i < cnt; ++i) {
-    uint64_t d = 0;
-    if (!get_uvarint(p, end, &d)) return false;
-    if (i > 0 && (d == 0 || d > UINT64_MAX - prev)) return false;
-    prev = i == 0 ? d : prev + d;
-    out->push_back(prev);
-  }
-  return true;
 }
 
 }  // namespace
@@ -174,10 +149,10 @@ bool decode_wal_record(const uint8_t* data, size_t len, WalRecord* out) {
     c = get_le32(p);
     p += 4;
   }
-  if (!decode_key_list(&p, end, counts[0], &out->input_deleted) ||
-      !decode_key_list(&p, end, counts[1], &out->input_inserted) ||
-      !decode_key_list(&p, end, counts[2], &out->diff_removed) ||
-      !decode_key_list(&p, end, counts[3], &out->diff_inserted))
+  if (!decode_ascending_list(&p, end, counts[0], &out->input_deleted) ||
+      !decode_ascending_list(&p, end, counts[1], &out->input_inserted) ||
+      !decode_ascending_list(&p, end, counts[2], &out->diff_removed) ||
+      !decode_ascending_list(&p, end, counts[3], &out->diff_inserted))
     return false;
   return p == end;  // trailing garbage is malformed, not ignorable
 }
@@ -216,8 +191,7 @@ bool WalWriter::append(const WalRecord& rec) {
   uint8_t* end = encode_wal_record_to(rec, frame + kFrameHeaderSize);
   const size_t payload_size = size_t(end - frame) - kFrameHeaderSize;
   buffer_.resize(at + kFrameHeaderSize + payload_size);
-  store_le32(frame, uint32_t(payload_size));
-  store_le32(frame + 4, crc32c(frame + kFrameHeaderSize, payload_size));
+  seal_frame(frame, payload_size);
   appended_version_ = rec.version;
   ++unsynced_records_;
   bool want_sync = false;
@@ -273,29 +247,22 @@ WalSegment read_wal_segment(Fs& fs, const std::string& path) {
   size_t off = kWalHeaderSize;
   uint64_t expect = seg.base_version + 1;
   while (off < bytes.size()) {
-    if (bytes.size() - off < kFrameHeaderSize) {
-      seg.truncated_tail = true;
-      break;
-    }
-    uint32_t len = get_le32(bytes.data() + off);
-    uint32_t crc = get_le32(bytes.data() + off + 4);
-    if (len > kMaxFramePayload || bytes.size() - off - kFrameHeaderSize < len) {
-      seg.truncated_tail = true;
-      break;
-    }
-    const uint8_t* payload = bytes.data() + off + kFrameHeaderSize;
-    if (crc32c(payload, len) != crc) {
+    // At EOF a partial frame is a torn tail (kNeedMore with no more bytes
+    // coming), indistinguishable on disk from any other truncation.
+    FrameView fv;
+    if (parse_frame(bytes.data() + off, bytes.size() - off, kMaxFramePayload,
+                    &fv) != FrameParse::kOk) {
       seg.truncated_tail = true;
       break;
     }
     WalRecord rec;
-    if (!decode_wal_record(payload, len, &rec) || rec.version != expect) {
+    if (!decode_wal_record(fv.payload, fv.len, &rec) || rec.version != expect) {
       seg.truncated_tail = true;
       break;
     }
     seg.records.push_back(std::move(rec));
     ++expect;
-    off += kFrameHeaderSize + len;
+    off += fv.consumed;
   }
   return seg;
 }

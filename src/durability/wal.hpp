@@ -42,13 +42,11 @@
 #include <string>
 #include <vector>
 
+#include "durability/frame.hpp"
 #include "durability/fs.hpp"
 #include "util/types.hpp"
 
 namespace parspan {
-
-/// CRC32C (Castagnoli) of a byte range — the frame integrity check.
-uint32_t crc32c(const uint8_t* data, size_t len, uint32_t seed = 0);
 
 /// Segment file name for base version `v` ("wal-<v:016x>.log").
 std::string wal_file_name(uint64_t base_version);
@@ -66,65 +64,10 @@ std::optional<std::vector<EdgeKey>> checked_apply_diff(
     std::span<const EdgeKey> base, std::span<const EdgeKey> add,
     std::span<const EdgeKey> rem);
 
-// --- Little-endian scalar codec (shared with the checkpoint format). -------
-
-inline void put_le32(std::vector<uint8_t>& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(uint8_t(v >> (8 * i)));
-}
-inline void put_le64(std::vector<uint8_t>& out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(uint8_t(v >> (8 * i)));
-}
-inline uint32_t get_le32(const uint8_t* p) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= uint32_t(p[i]) << (8 * i);
-  return v;
-}
-inline uint64_t get_le64(const uint8_t* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= uint64_t(p[i]) << (8 * i);
-  return v;
-}
-// Raw-pointer variants for pre-sized buffers: the byte shifts compile to a
-// single unaligned store on little-endian targets, so bulk key
-// serialization is a memcpy in practice while staying endian-exact.
-inline void store_le32(uint8_t* p, uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = uint8_t(v >> (8 * i));
-}
-inline void store_le64(uint8_t* p, uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = uint8_t(v >> (8 * i));
-}
-
-// LEB128 varints for the delta-compressed key lists. A u64 takes at most
-// 10 bytes; a typical sorted-key delta takes 1-3.
-constexpr size_t kMaxUvarintLen = 10;
-inline size_t put_uvarint(uint8_t* p, uint64_t v) {
-  size_t i = 0;
-  while (v >= 0x80) {
-    p[i++] = uint8_t(v) | 0x80;
-    v >>= 7;
-  }
-  p[i++] = uint8_t(v);
-  return i;
-}
-/// Advances *p past the varint on success; false on truncation or a
-/// non-canonical 10-byte overflow.
-inline bool get_uvarint(const uint8_t** p, const uint8_t* end, uint64_t* v) {
-  uint64_t r = 0;
-  int shift = 0;
-  const uint8_t* q = *p;
-  for (size_t i = 0; i < kMaxUvarintLen && q < end; ++i) {
-    uint8_t b = *q++;
-    if (shift == 63 && b > 1) return false;  // would overflow u64
-    r |= uint64_t(b & 0x7f) << shift;
-    if ((b & 0x80) == 0) {
-      *p = q;
-      *v = r;
-      return true;
-    }
-    shift += 7;
-  }
-  return false;
-}
+// The little-endian scalar codec, LEB128 varints, CRC32C, and the frame
+// header codec live in durability/frame.hpp (included above) — shared with
+// the checkpoint format, the replication ship frames, and the net wire
+// protocol, all of which reuse these exact frozen conventions.
 
 /// One durable record = one published snapshot version.
 struct WalRecord {

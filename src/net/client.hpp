@@ -1,0 +1,125 @@
+// NetClient: a small blocking client for the §13 wire protocol — the
+// in-process counterpart the tests, examples, and loadgen drive. One
+// TCP connection, the hello handshake on connect, then either the typed
+// one-request-at-a-time methods (each sends, then blocks for its
+// response) or the raw pipelining pair send_bytes()/recv_response() for
+// callers that keep many requests in flight and match responses by seq
+// themselves.
+//
+// Not thread-safe: one NetClient per thread (connections are cheap; the
+// server's state is all per-connection anyway).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "util/types.hpp"
+
+namespace parspan::net {
+
+/// A response with its body copied out of the receive buffer (safe to
+/// hold across further receives).
+struct OwnedResponse {
+  uint32_t seq = 0;
+  Status status = Status::kOk;
+  std::vector<uint8_t> body;
+
+  /// Re-views the owned body for the parse_*_body helpers.
+  Response view() const {
+    Response r;
+    r.seq = seq;
+    r.status = status;
+    r.body = body.data();
+    r.body_len = uint32_t(body.size());
+    return r;
+  }
+};
+
+class NetClient {
+ public:
+  /// Connects and runs the hello handshake; nullopt on refusal, protocol
+  /// mismatch, or any socket error.
+  static std::optional<NetClient> connect(const std::string& host,
+                                          uint16_t port);
+
+  ~NetClient();
+  NetClient(NetClient&& o) noexcept;
+  NetClient& operator=(NetClient&& o) noexcept;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  const HelloInfo& info() const { return info_; }
+  bool ok() const { return fd_ >= 0; }
+
+  struct SubmitResult {
+    Status status = Status::kError;
+    uint32_t retry_after_ms = 0;
+  };
+
+  /// Edges are canonicalized, sorted, and deduplicated before encoding.
+  SubmitResult submit(uint32_t graph_id, const std::vector<Edge>& insertions,
+                      const std::vector<Edge>& deletions);
+  SubmitResult submit_for(uint32_t graph_id,
+                          const std::vector<Edge>& insertions,
+                          const std::vector<Edge>& deletions,
+                          uint32_t timeout_ms);
+
+  /// Read-your-writes barrier over the wire: the published VersionVector,
+  /// or nullopt on a connection/protocol failure.
+  std::optional<std::vector<uint64_t>> flush();
+
+  struct Pin {
+    uint64_t id = 0;
+    std::vector<uint64_t> versions;
+  };
+  /// Empty vv pins "now"; a non-empty vv the server has not reached yet
+  /// returns status kRetryAfter with no pin.
+  struct PinResult {
+    Status status = Status::kError;
+    Pin pin;
+  };
+  PinResult pin(const std::vector<uint64_t>& vv = {});
+  bool unpin(uint64_t pin_id);
+
+  /// pin_id 0 = the server's current view.
+  std::optional<bool> has_edge(uint64_t pin_id, VertexId u, VertexId v);
+  std::optional<std::vector<VertexId>> neighbors(uint64_t pin_id, VertexId v);
+  std::optional<uint32_t> bounded_bfs(uint64_t pin_id, VertexId u, VertexId v,
+                                      uint32_t limit);
+  std::optional<StatsInfo> stats();
+
+  // --- Raw pipelining ----------------------------------------------------
+
+  /// Writes pre-encoded frames (encode_* into a buffer, then send in one
+  /// call — many requests per syscall). False on a socket error.
+  bool send_bytes(const std::vector<uint8_t>& bytes);
+
+  /// Blocks for the next response frame; nullopt on close/corruption.
+  /// Responses to deferred requests (flush, parked submit_for) may arrive
+  /// out of seq order — that is the point of the seq field.
+  std::optional<OwnedResponse> recv_response();
+
+  /// Requests encoded+sent so far — the seq the NEXT request will get.
+  uint32_t next_seq() const { return next_seq_; }
+  /// Bumps the request counter for raw-encoded requests (one per frame).
+  uint32_t take_seq() { return next_seq_++; }
+
+ private:
+  NetClient() = default;
+  void close_now();
+  /// Sends one encoded request and blocks for ITS seq (any earlier
+  /// deferred responses are surfaced to raw callers only; typed callers
+  /// have at most one outstanding request, so order holds).
+  std::optional<OwnedResponse> roundtrip(const std::vector<uint8_t>& frame);
+
+  int fd_ = -1;
+  HelloInfo info_;
+  uint32_t next_seq_ = 0;
+  std::vector<uint8_t> rbuf_;
+  size_t roff_ = 0;
+};
+
+}  // namespace parspan::net

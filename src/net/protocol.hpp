@@ -1,0 +1,212 @@
+// Wire protocol for the sharded service's network front door
+// (DESIGN.md §13.1-§13.2): the byte layout both ends of a connection
+// agree on, and nothing else — no sockets, no threads, pure codec.
+//
+// Every message travels as one durability/frame.hpp frame
+// (`payload_len u32 | crc32c(payload) u32 | payload`), so the stream
+// inherits the WAL's frozen framing conventions: explicit little-endian
+// scalars, CRC-verified payloads, and varint-delta compression for the
+// strictly-ascending canonical edge-key lists that dominate submit
+// traffic. A torn, truncated, or bit-flipped frame parses to kBad and
+// kills the connection; it can never desynchronize the stream into
+// "interpreting the middle of a payload as a header".
+//
+// Requests carry no explicit sequence number: a connection's requests are
+// implicitly numbered 0, 1, 2, ... in arrival order, and every response
+// echoes that index as `seq`. That is what buys pipelining with
+// out-of-order completion — a deferred flush (waiting on the publish
+// barrier) or a parked submit_for (waiting on queue capacity) can answer
+// AFTER later queries already did, and the client still matches responses
+// to requests by seq alone.
+//
+//   request payload:   op u8 | body
+//   response payload:  seq u32 | status u8 | body
+//
+// Body layouts (all integers LE; key lists are varint-delta over strictly
+// ascending canonical EdgeKeys, counts given up front):
+//
+//   op              request body                       kOk response body
+//   kHello      magic u64 | version u32        num_shards u32 | single_graph u8
+//                                              | vertex_space u64
+//   kSubmit     graph u32 | icnt u32 | dcnt    (empty)
+//               u32 | ins keys | del keys
+//   kSubmitFor  timeout_ms u32 | <kSubmit>     (empty)
+//   kFlush      (empty)                        vv: cnt u32 | u64 x cnt
+//   kPin        cnt u32 | u64 x cnt            pin_id u64 | vv (as kFlush)
+//               (cnt 0 pins "now")
+//   kUnpin      pin_id u64                     (empty)
+//   kHasEdge    pin_id u64 | u u32 | v u32     present u8
+//   kNeighbors  pin_id u64 | v u32             cnt u32 | ascending ids
+//   kBoundedBfs pin_id u64 | u u32 | v u32     dist u32 (kSnapshotUnreached
+//               | limit u32                    when unreached)
+//   kStats      (empty)                        see StatsInfo
+//
+// Non-kOk responses replace the body: kRetryAfter carries
+// `retry_after_ms u32` (backpressure — the queue admission bound, or a
+// pin target no shard has published yet; retry the SAME request later),
+// kError carries `len u32 | utf-8 message` (the request was understood
+// but refused — unknown pin id, composed query on a multi-tenant
+// service, hello version mismatch). Malformed bytes get no response at
+// all: the server counts a protocol error and closes the connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "durability/frame.hpp"
+#include "util/types.hpp"
+
+namespace parspan::net {
+
+/// First request on every connection; both sides refuse to proceed on a
+/// mismatch. "parspan1" little-endian.
+constexpr uint64_t kMagic = 0x316E617073726170ull;
+constexpr uint32_t kProtocolVersion = 1;
+
+/// Per-connection frame cap the server enforces (far below frame.hpp's
+/// structural kMaxFramePayload): a hostile length claim fails before any
+/// buffering happens.
+constexpr uint32_t kDefaultMaxFramePayload = 1u << 20;
+
+enum class Op : uint8_t {
+  kHello = 1,
+  kSubmit = 2,
+  kSubmitFor = 3,
+  kFlush = 4,
+  kPin = 5,
+  kUnpin = 6,
+  kHasEdge = 7,
+  kNeighbors = 8,
+  kBoundedBfs = 9,
+  kStats = 10,
+};
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kRetryAfter = 1,  // backpressure: same request, later
+  kError = 2,       // refused: see message
+};
+
+/// kHello kOk body.
+struct HelloInfo {
+  uint32_t num_shards = 0;
+  bool single_graph = false;
+  uint64_t vertex_space = 0;
+};
+
+/// kStats kOk body: num_shards u32 | single_graph u8 | vertex_space u64 |
+/// edges_ingested u64 | edges_rejected u64 | edges_timed_out u64 |
+/// vv cnt u32 | u64 x cnt | active_connections u32 | protocol_errors u64.
+struct StatsInfo {
+  HelloInfo hello;
+  uint64_t edges_ingested = 0;
+  uint64_t edges_rejected = 0;
+  uint64_t edges_timed_out = 0;
+  std::vector<uint64_t> versions;
+  uint32_t active_connections = 0;
+  uint64_t protocol_errors = 0;
+};
+
+/// One decoded request, op-discriminated. Key lists come out ascending and
+/// duplicate-free (the codec proves it); vertex ids are NOT range-checked
+/// here — the server validates against its vertex space.
+struct Request {
+  Op op = Op::kHello;
+  // kHello
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  // kSubmit / kSubmitFor
+  uint32_t graph_id = 0;
+  uint32_t timeout_ms = 0;
+  std::vector<EdgeKey> insertions;
+  std::vector<EdgeKey> deletions;
+  // kPin
+  std::vector<uint64_t> vv;
+  // kUnpin / queries
+  uint64_t pin_id = 0;
+  VertexId u = 0;
+  VertexId v = 0;
+  uint32_t limit = 0;
+};
+
+/// One decoded response envelope; `body` is a view INTO the frame payload
+/// the caller handed decode_response (valid while that buffer is).
+struct Response {
+  uint32_t seq = 0;
+  Status status = Status::kOk;
+  const uint8_t* body = nullptr;
+  uint32_t body_len = 0;
+};
+
+// --- Request encoders (client side): append ONE sealed frame to `out` ----
+
+void encode_hello(std::vector<uint8_t>& out);
+/// Keys must be strictly ascending (sort_unique_keys below).
+void encode_submit(std::vector<uint8_t>& out, uint32_t graph_id,
+                   const std::vector<EdgeKey>& insertions,
+                   const std::vector<EdgeKey>& deletions);
+void encode_submit_for(std::vector<uint8_t>& out, uint32_t graph_id,
+                       const std::vector<EdgeKey>& insertions,
+                       const std::vector<EdgeKey>& deletions,
+                       uint32_t timeout_ms);
+void encode_flush(std::vector<uint8_t>& out);
+/// Empty vv = "pin whatever is published now".
+void encode_pin(std::vector<uint8_t>& out, const std::vector<uint64_t>& vv);
+void encode_unpin(std::vector<uint8_t>& out, uint64_t pin_id);
+/// pin_id 0 = one-shot unpinned read against the server's current view.
+void encode_has_edge(std::vector<uint8_t>& out, uint64_t pin_id, VertexId u,
+                     VertexId v);
+void encode_neighbors(std::vector<uint8_t>& out, uint64_t pin_id, VertexId v);
+void encode_bounded_bfs(std::vector<uint8_t>& out, uint64_t pin_id, VertexId u,
+                        VertexId v, uint32_t limit);
+void encode_stats(std::vector<uint8_t>& out);
+
+/// Canonical keys of `edges`, sorted ascending with duplicates dropped —
+/// the precondition every key list on the wire must meet.
+std::vector<EdgeKey> sort_unique_keys(const std::vector<Edge>& edges);
+
+// --- Server side ---------------------------------------------------------
+
+/// Decodes one request frame payload. False = malformed (wrong sizes,
+/// non-ascending keys, unknown op, trailing bytes): the connection dies.
+bool decode_request(const uint8_t* payload, uint32_t len, Request* out);
+
+/// Appends one sealed kOk response frame with `body`.
+void append_ok(std::vector<uint8_t>& out, uint32_t seq,
+               const std::vector<uint8_t>& body);
+void append_retry_after(std::vector<uint8_t>& out, uint32_t seq,
+                        uint32_t retry_after_ms);
+void append_error(std::vector<uint8_t>& out, uint32_t seq,
+                  const std::string& message);
+
+// kOk body builders (server side; parsers mirror them client side).
+std::vector<uint8_t> build_hello_body(const HelloInfo& info);
+std::vector<uint8_t> build_vv_body(const std::vector<uint64_t>& vv);
+std::vector<uint8_t> build_pin_body(uint64_t pin_id,
+                                    const std::vector<uint64_t>& vv);
+std::vector<uint8_t> build_has_edge_body(bool present);
+std::vector<uint8_t> build_neighbors_body(const std::vector<VertexId>& ids);
+std::vector<uint8_t> build_dist_body(uint32_t dist);
+std::vector<uint8_t> build_stats_body(const StatsInfo& stats);
+
+// --- Client-side response decode -----------------------------------------
+
+/// Decodes a response frame payload into the envelope (body stays a view).
+bool decode_response(const uint8_t* payload, uint32_t len, Response* out);
+
+bool parse_hello_body(const Response& r, HelloInfo* out);
+bool parse_vv_body(const Response& r, std::vector<uint64_t>* out);
+bool parse_pin_body(const Response& r, uint64_t* pin_id,
+                    std::vector<uint64_t>* vv);
+bool parse_has_edge_body(const Response& r, bool* present);
+bool parse_neighbors_body(const Response& r, std::vector<VertexId>* out);
+bool parse_dist_body(const Response& r, uint32_t* dist);
+bool parse_stats_body(const Response& r, StatsInfo* out);
+/// kRetryAfter body.
+bool parse_retry_after_body(const Response& r, uint32_t* retry_after_ms);
+/// kError body.
+bool parse_error_body(const Response& r, std::string* message);
+
+}  // namespace parspan::net

@@ -1,0 +1,675 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace parspan::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kReadChunk = 64 * 1024;
+// Compact a buffer's consumed prefix once it crosses this, so long-lived
+// connections don't accrete dead bytes.
+constexpr size_t kCompactAt = 64 * 1024;
+
+/// One connection's entire state. Owned by exactly one event loop; never
+/// touched from any other thread (deferred completions go through the
+/// loop's mailbox and are resolved to a Conn* on the loop thread).
+struct Conn {
+  int fd = -1;
+  uint64_t id = 0;
+  std::vector<uint8_t> in;
+  size_t in_off = 0;  // parsed-up-to offset into `in`
+  std::vector<uint8_t> out;
+  size_t out_off = 0;  // sent-up-to offset into `out`
+  uint32_t next_seq = 0;  // requests are implicitly numbered in arrival order
+  bool hello_done = false;
+  bool dead = false;  // marked mid-processing, reaped at batch end
+  uint64_t next_pin_id = 0;
+  std::unordered_map<uint64_t, ShardedView> pins;
+
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// A kFlush whose publish barrier completed on a drain thread: routed to
+/// the owning loop by conn id (the conn may be gone — then it fizzles).
+struct FlushDone {
+  uint64_t conn_id = 0;
+  uint32_t seq = 0;
+  VersionVector vv;
+};
+
+/// A kSubmitFor waiting for queue admission: the REQUEST is parked, the
+/// loop thread is not. Retried on every loop tick until admission wins or
+/// the deadline expires into kRetryAfter.
+struct Parked {
+  uint64_t conn_id = 0;
+  uint32_t seq = 0;
+  uint32_t graph_id = 0;
+  std::vector<Edge> insertions;
+  std::vector<Edge> deletions;
+  Clock::time_point deadline;
+};
+
+/// Cross-thread mailbox of one loop. Held by shared_ptr from every
+/// in-flight flush_async callback, so a completion that fires after the
+/// server stopped (the service outlives it) lands on a closed mailbox
+/// instead of freed memory; the eventfd lives and dies with the mailbox
+/// for the same reason.
+struct Mailbox {
+  std::mutex mu;
+  std::vector<int> incoming;  // accepted fds awaiting registration
+  std::vector<FlushDone> completions;
+  bool closed = false;
+  int wakefd = -1;
+
+  ~Mailbox() {
+    if (wakefd >= 0) ::close(wakefd);
+  }
+
+  void wake() {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(wakefd, &one, sizeof(one));
+  }
+
+  void post_conn(int fd) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (closed) {
+        ::close(fd);
+        return;
+      }
+      incoming.push_back(fd);
+    }
+    wake();
+  }
+
+  void post_completion(FlushDone d) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (closed) return;
+      completions.push_back(std::move(d));
+    }
+    wake();
+  }
+};
+
+struct Loop {
+  int epfd = -1;
+  std::shared_ptr<Mailbox> mbox;
+  std::thread thread;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;  // by conn id
+  std::deque<Parked> parked;
+};
+
+void drop_prefix(std::vector<uint8_t>& buf, size_t& off) {
+  if (off == buf.size()) {
+    buf.clear();
+    off = 0;
+  } else if (off >= kCompactAt) {
+    buf.erase(buf.begin(), buf.begin() + ptrdiff_t(off));
+    off = 0;
+  }
+}
+
+}  // namespace
+
+struct NetServer::Impl {
+  ShardedSpannerService& svc;
+  NetServerConfig cfg;
+
+  int listen_fd = -1;
+  int accept_wakefd = -1;
+  std::thread acceptor;
+  std::vector<std::unique_ptr<Loop>> loops;
+  std::atomic<bool> running{false};
+  bool started = false;
+  std::atomic<uint64_t> next_conn_id{1};
+
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> closed{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> retry_afters{0};
+  std::atomic<uint64_t> protocol_errors{0};
+
+  Impl(ShardedSpannerService& s, NetServerConfig c) : svc(s), cfg(std::move(c)) {}
+
+  // --- Response helpers (bump the counters exactly once per response) ---
+
+  void respond_ok(Conn* c, uint32_t seq, const std::vector<uint8_t>& body) {
+    append_ok(c->out, seq, body);
+    responses.fetch_add(1, std::memory_order_relaxed);
+  }
+  void respond_retry(Conn* c, uint32_t seq) {
+    append_retry_after(c->out, seq, cfg.retry_after_ms);
+    responses.fetch_add(1, std::memory_order_relaxed);
+    retry_afters.fetch_add(1, std::memory_order_relaxed);
+  }
+  void respond_error(Conn* c, uint32_t seq, const std::string& msg) {
+    append_error(c->out, seq, msg);
+    responses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  HelloInfo hello_info() const {
+    HelloInfo h;
+    h.num_shards = uint32_t(svc.num_shards());
+    h.single_graph = svc.router().single_graph();
+    h.vertex_space = svc.vertex_space();
+    return h;
+  }
+
+  /// Canonical-key validation against the serving vertex space: client
+  /// keys are data, and an out-of-range vertex must bounce at the front
+  /// door — past it, a backend would index out of bounds.
+  bool keys_valid(const std::vector<EdgeKey>& keys) const {
+    const uint64_t n = svc.vertex_space();
+    for (EdgeKey k : keys) {
+      auto [lo, hi] = edge_endpoints(k);
+      if (lo >= hi || hi >= n) return false;
+    }
+    return true;
+  }
+
+  static std::vector<Edge> to_edges(const std::vector<EdgeKey>& keys) {
+    std::vector<Edge> edges;
+    edges.reserve(keys.size());
+    for (EdgeKey k : keys) edges.push_back(edge_from_key(k));
+    return edges;
+  }
+
+  // --- Request handling (loop thread) -----------------------------------
+
+  void handle_request(Loop& loop, Conn* c, uint32_t seq,
+                      const uint8_t* payload, uint32_t len) {
+    Request req;
+    if (!decode_request(payload, len, &req)) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      c->dead = true;
+      return;
+    }
+    if (!c->hello_done) {
+      // Hello-first is part of the protocol: anything else is a stray
+      // client and dies before touching the service.
+      if (req.op != Op::kHello || req.magic != kMagic) {
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c->dead = true;
+        return;
+      }
+      if (req.version != kProtocolVersion) {
+        respond_error(c, seq, "protocol version mismatch");
+        c->dead = true;  // the error response still flushes before close
+        return;
+      }
+      c->hello_done = true;
+      respond_ok(c, seq, build_hello_body(hello_info()));
+      return;
+    }
+
+    switch (req.op) {
+      case Op::kHello:
+        respond_error(c, seq, "duplicate hello");
+        break;
+      case Op::kSubmit:
+      case Op::kSubmitFor: {
+        if (!keys_valid(req.insertions) || !keys_valid(req.deletions)) {
+          respond_error(c, seq, "edge key out of range");
+          break;
+        }
+        auto ins = to_edges(req.insertions);
+        auto del = to_edges(req.deletions);
+        // Admission is ALWAYS a zero-timeout try on the loop thread; a
+        // parked kSubmitFor retries the same try on later ticks. On
+        // kRetryAfter some shards' sub-batches may already be in (the
+        // service's documented partial admission) — resubmission is
+        // idempotent under the queue's last-op-wins set semantics, so
+        // "retry the whole batch" is the client contract.
+        auto st = svc.submit_for(req.graph_id, ins, del,
+                                 std::chrono::nanoseconds::zero());
+        if (st == ShardedSpannerService::SubmitStatus::kOk) {
+          respond_ok(c, seq, {});
+        } else if (req.op == Op::kSubmitFor && req.timeout_ms > 0) {
+          loop.parked.push_back(
+              {c->id, seq, req.graph_id, std::move(ins), std::move(del),
+               Clock::now() + std::chrono::milliseconds(req.timeout_ms)});
+        } else {
+          respond_retry(c, seq);
+        }
+        break;
+      }
+      case Op::kFlush: {
+        // The barrier completes on a writer drain (or inline right here);
+        // either way the result goes through the mailbox and is written
+        // out by the loop thread — flush never parks this thread.
+        auto mbox = loop.mbox;
+        const uint64_t conn_id = c->id;
+        svc.flush_async([mbox, conn_id, seq](VersionVector vv) {
+          mbox->post_completion({conn_id, seq, std::move(vv)});
+        });
+        break;
+      }
+      case Op::kPin: {
+        if (c->pins.size() >= cfg.max_pins_per_conn) {
+          respond_error(c, seq, "pin table full");
+          break;
+        }
+        std::optional<ShardedView> view;
+        if (req.vv.empty()) {
+          view = svc.view();
+        } else {
+          VersionVector target;
+          target.v = req.vv;
+          view = svc.try_view_at_least(target);
+          if (!view) {
+            // Not published that far yet (or wrong shard count): protocol
+            // backpressure, the client's retry loop — never a wait here.
+            respond_retry(c, seq);
+            break;
+          }
+        }
+        const uint64_t pin_id = ++c->next_pin_id;
+        const std::vector<uint64_t> vv = view->versions().v;
+        c->pins.emplace(pin_id, std::move(*view));
+        respond_ok(c, seq, build_pin_body(pin_id, vv));
+        break;
+      }
+      case Op::kUnpin: {
+        if (c->pins.erase(req.pin_id) == 0)
+          respond_error(c, seq, "unknown pin id");
+        else
+          respond_ok(c, seq, {});
+        break;
+      }
+      case Op::kHasEdge:
+      case Op::kNeighbors:
+      case Op::kBoundedBfs: {
+        if (!svc.router().single_graph()) {
+          respond_error(c, seq, "composed query on multi-tenant service");
+          break;
+        }
+        const ShardedView* view = nullptr;
+        std::optional<ShardedView> unpinned;
+        if (req.pin_id == 0) {
+          unpinned = svc.view();
+          view = &*unpinned;
+        } else {
+          auto it = c->pins.find(req.pin_id);
+          if (it == c->pins.end()) {
+            respond_error(c, seq, "unknown pin id");
+            break;
+          }
+          view = &it->second;
+        }
+        const uint64_t n = svc.vertex_space();
+        if (req.u >= n || req.v >= n) {
+          respond_error(c, seq, "vertex out of range");
+          break;
+        }
+        if (req.op == Op::kHasEdge) {
+          const bool present = req.u != req.v && view->has_edge(req.u, req.v);
+          respond_ok(c, seq, build_has_edge_body(present));
+        } else if (req.op == Op::kNeighbors) {
+          respond_ok(c, seq, build_neighbors_body(view->neighbors(req.v)));
+        } else {
+          const uint32_t d = req.u == req.v
+                                 ? 0
+                                 : view->distance(req.u, req.v, req.limit);
+          respond_ok(c, seq, build_dist_body(d));
+        }
+        break;
+      }
+      case Op::kStats: {
+        StatsInfo s;
+        s.hello = hello_info();
+        s.edges_ingested = svc.edges_ingested();
+        s.edges_rejected = svc.edges_rejected();
+        s.edges_timed_out = svc.edges_timed_out();
+        s.versions = svc.versions().v;
+        s.active_connections = uint32_t(
+            accepted.load(std::memory_order_relaxed) -
+            closed.load(std::memory_order_relaxed));
+        s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+        respond_ok(c, seq, build_stats_body(s));
+        break;
+      }
+      default:
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c->dead = true;
+        break;
+    }
+  }
+
+  void process_frames(Loop& loop, Conn* c) {
+    while (!c->dead) {
+      FrameView fv;
+      const FrameParse p =
+          parse_frame(c->in.data() + c->in_off, c->in.size() - c->in_off,
+                      cfg.max_frame_payload, &fv);
+      if (p == FrameParse::kNeedMore) break;
+      if (p == FrameParse::kBad) {
+        // Torn/corrupt/hostile frame: the stream is unrecoverable (no
+        // resync scanning — the WAL's torn-tail rule, DESIGN.md §10.3).
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c->dead = true;
+        break;
+      }
+      const uint32_t seq = c->next_seq++;
+      requests.fetch_add(1, std::memory_order_relaxed);
+      handle_request(loop, c, seq, fv.payload, fv.len);
+      c->in_off += fv.consumed;
+    }
+    drop_prefix(c->in, c->in_off);
+  }
+
+  /// Edge-triggered read: drain the socket completely — the next EPOLLIN
+  /// edge only comes after new bytes arrive.
+  void handle_readable(Loop& loop, Conn* c) {
+    bool eof = false;
+    for (;;) {
+      const size_t at = c->in.size();
+      c->in.resize(at + kReadChunk);
+      const ssize_t r = ::read(c->fd, c->in.data() + at, kReadChunk);
+      if (r > 0) {
+        c->in.resize(at + size_t(r));
+        if (c->in.size() - c->in_off >
+            size_t(cfg.max_frame_payload) + kFrameHeaderSize + kReadChunk) {
+          // A client shovelling bytes that never complete a frame is
+          // claiming a payload the cap already rejected.
+          protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          c->dead = true;
+          break;
+        }
+        continue;
+      }
+      c->in.resize(at);
+      if (r == 0) {
+        eof = true;  // orderly close: buffered frames still run first
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        c->dead = true;
+      }
+      break;
+    }
+    process_frames(loop, c);
+    // Half-closed peers (shutdown(SHUT_WR)) get their pipelined responses
+    // written below before the reap; full closes just fail the write.
+    if (eof) c->dead = true;
+    flush_writes(c);
+  }
+
+  /// Edge-triggered write: push until done or EAGAIN; the kernel raises
+  /// the next EPOLLOUT edge when the socket drains. Called after every
+  /// append too — an idle-writable socket never gets another edge.
+  void flush_writes(Conn* c) {
+    while (c->out_off < c->out.size()) {
+      const ssize_t w = ::write(c->fd, c->out.data() + c->out_off,
+                                c->out.size() - c->out_off);
+      if (w > 0) {
+        c->out_off += size_t(w);
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else {
+        c->dead = true;
+        return;
+      }
+    }
+    if (c->out.size() - c->out_off > cfg.max_outbuf_bytes) {
+      // Slow reader with unbounded pipelined responses: disconnect rather
+      // than buffer without bound.
+      c->dead = true;
+      return;
+    }
+    drop_prefix(c->out, c->out_off);
+  }
+
+  void close_conn(Loop& loop, uint64_t conn_id) {
+    auto it = loop.conns.find(conn_id);
+    if (it == loop.conns.end()) return;
+    // ~Conn closes the fd (epoll drops it automatically) and releases the
+    // pin table — a dead client can never leak snapshot retention.
+    loop.conns.erase(it);
+    closed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void register_conn(Loop& loop, int fd) {
+    auto c = std::make_unique<Conn>();
+    c->fd = fd;
+    c->id = next_conn_id.fetch_add(1, std::memory_order_relaxed);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+    ev.data.ptr = c.get();
+    if (epoll_ctl(loop.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) return;  // ~Conn
+    accepted.fetch_add(1, std::memory_order_relaxed);
+    loop.conns.emplace(c->id, std::move(c));
+  }
+
+  void drain_mailbox(Loop& loop) {
+    uint64_t tick = 0;
+    while (::read(loop.mbox->wakefd, &tick, sizeof(tick)) > 0) {
+    }
+    std::vector<int> incoming;
+    std::vector<FlushDone> completions;
+    {
+      std::lock_guard<std::mutex> lk(loop.mbox->mu);
+      incoming.swap(loop.mbox->incoming);
+      completions.swap(loop.mbox->completions);
+    }
+    for (int fd : incoming) register_conn(loop, fd);
+    for (FlushDone& d : completions) {
+      auto it = loop.conns.find(d.conn_id);
+      if (it == loop.conns.end()) continue;  // conn died while flushing
+      Conn* c = it->second.get();
+      if (c->dead) continue;
+      respond_ok(c, d.seq, build_vv_body(d.vv.v));
+      flush_writes(c);
+    }
+  }
+
+  void retry_parked(Loop& loop) {
+    if (loop.parked.empty()) return;
+    const auto now = Clock::now();
+    for (size_t i = 0; i < loop.parked.size();) {
+      Parked& p = loop.parked[i];
+      auto it = loop.conns.find(p.conn_id);
+      Conn* c = it == loop.conns.end() ? nullptr : it->second.get();
+      if (c == nullptr || c->dead) {
+        loop.parked.erase(loop.parked.begin() + ptrdiff_t(i));
+        continue;
+      }
+      const auto st = svc.submit_for(p.graph_id, p.insertions, p.deletions,
+                                     std::chrono::nanoseconds::zero());
+      if (st == ShardedSpannerService::SubmitStatus::kOk) {
+        respond_ok(c, p.seq, {});
+      } else if (now >= p.deadline) {
+        respond_retry(c, p.seq);
+      } else {
+        ++i;
+        continue;
+      }
+      flush_writes(c);
+      loop.parked.erase(loop.parked.begin() + ptrdiff_t(i));
+    }
+  }
+
+  void loop_main(Loop& loop) {
+    epoll_event evs[64];
+    std::vector<uint64_t> dead;
+    while (running.load(std::memory_order_acquire)) {
+      const int timeout = loop.parked.empty() ? -1 : int(cfg.tick_ms);
+      const int n = epoll_wait(loop.epfd, evs, 64, timeout);
+      for (int i = 0; i < n; ++i) {
+        if (evs[i].data.ptr == nullptr) {
+          drain_mailbox(loop);
+          continue;
+        }
+        Conn* c = static_cast<Conn*>(evs[i].data.ptr);
+        if (c->dead) continue;  // multiple events for a conn reaped below
+        if (evs[i].events & (EPOLLERR | EPOLLHUP)) c->dead = true;
+        if (!c->dead && (evs[i].events & EPOLLIN)) handle_readable(loop, c);
+        if (!c->dead && (evs[i].events & EPOLLOUT)) flush_writes(c);
+      }
+      retry_parked(loop);
+      // Reap AFTER the whole event batch: evs[] may hold more events for
+      // a conn marked dead by an earlier one, so freeing mid-batch would
+      // dangle. A conn with a flushing error response closes once its
+      // outbuf is empty or the write would block no further.
+      dead.clear();
+      for (auto& [id, c] : loop.conns)
+        if (c->dead) dead.push_back(id);
+      for (uint64_t id : dead) close_conn(loop, id);
+    }
+  }
+
+  void acceptor_main() {
+    const int epfd = epoll_create1(EPOLL_CLOEXEC);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd;
+    epoll_ctl(epfd, EPOLL_CTL_ADD, listen_fd, &ev);
+    ev.data.fd = accept_wakefd;
+    epoll_ctl(epfd, EPOLL_CTL_ADD, accept_wakefd, &ev);
+    size_t rr = 0;
+    epoll_event evs[8];
+    while (running.load(std::memory_order_acquire)) {
+      const int n = epoll_wait(epfd, evs, 8, -1);
+      for (int i = 0; i < n; ++i) {
+        if (evs[i].data.fd == accept_wakefd) {
+          uint64_t tick = 0;
+          while (::read(accept_wakefd, &tick, sizeof(tick)) > 0) {
+          }
+          continue;
+        }
+        for (;;) {
+          const int fd = accept4(listen_fd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (fd < 0) break;  // EAGAIN, or transient (ECONNABORTED, EMFILE)
+          int one = 1;
+          setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          // Round-robin dealing: a connection's loop is fixed for life,
+          // which is what makes all per-conn state lock-free.
+          loops[rr++ % loops.size()]->mbox->post_conn(fd);
+        }
+      }
+    }
+    ::close(epfd);
+  }
+};
+
+NetServer::NetServer(ShardedSpannerService& service, NetServerConfig cfg)
+    : impl_(std::make_unique<Impl>(service, std::move(cfg))) {}
+
+NetServer::~NetServer() { stop(); }
+
+bool NetServer::start() {
+  Impl& im = *impl_;
+  if (im.started) return false;
+  im.listen_fd =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (im.listen_fd < 0) return false;
+  int one = 1;
+  setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(im.cfg.port);
+  if (inet_pton(AF_INET, im.cfg.bind_addr.c_str(), &addr.sin_addr) != 1 ||
+      bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      listen(im.listen_fd, im.cfg.listen_backlog) != 0) {
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+    return false;
+  }
+  socklen_t alen = sizeof(addr);
+  getsockname(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  im.accept_wakefd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  const int num_loops = im.cfg.num_loops < 1 ? 1 : im.cfg.num_loops;
+  im.running.store(true, std::memory_order_release);
+  for (int i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epfd = epoll_create1(EPOLL_CLOEXEC);
+    loop->mbox = std::make_shared<Mailbox>();
+    loop->mbox->wakefd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // the mailbox sentinel
+    epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->mbox->wakefd, &ev);
+    im.loops.push_back(std::move(loop));
+  }
+  for (auto& loop : im.loops) {
+    Loop* lp = loop.get();
+    lp->thread = std::thread([this, lp] { impl_->loop_main(*lp); });
+  }
+  im.acceptor = std::thread([this] { impl_->acceptor_main(); });
+  im.started = true;
+  return true;
+}
+
+void NetServer::stop() {
+  Impl& im = *impl_;
+  if (!im.started) return;
+  if (im.running.exchange(false)) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t r =
+        ::write(im.accept_wakefd, &one, sizeof(one));
+    for (auto& loop : im.loops) loop->mbox->wake();
+  }
+  if (im.acceptor.joinable()) im.acceptor.join();
+  for (auto& loop : im.loops) {
+    if (loop->thread.joinable()) loop->thread.join();
+    {
+      // Close the mailbox: late flush_async completions (the service
+      // outlives the server) fizzle instead of piling up; stray accepted
+      // fds are closed by post_conn itself.
+      std::lock_guard<std::mutex> lk(loop->mbox->mu);
+      loop->mbox->closed = true;
+      for (int fd : loop->mbox->incoming) ::close(fd);
+      loop->mbox->incoming.clear();
+      loop->mbox->completions.clear();
+    }
+    im.closed.fetch_add(loop->conns.size(), std::memory_order_relaxed);
+    loop->conns.clear();  // ~Conn closes fds, drops pins
+    loop->parked.clear();
+    if (loop->epfd >= 0) ::close(loop->epfd);
+    // The mailbox's eventfd closes when the last flush callback lets go.
+  }
+  im.loops.clear();
+  if (im.listen_fd >= 0) ::close(im.listen_fd);
+  if (im.accept_wakefd >= 0) ::close(im.accept_wakefd);
+  im.listen_fd = im.accept_wakefd = -1;
+  im.started = false;
+}
+
+NetServer::Stats NetServer::stats() const {
+  const Impl& im = *impl_;
+  Stats s;
+  s.connections_accepted = im.accepted.load(std::memory_order_relaxed);
+  s.connections_closed = im.closed.load(std::memory_order_relaxed);
+  s.active_connections = s.connections_accepted - s.connections_closed;
+  s.requests = im.requests.load(std::memory_order_relaxed);
+  s.responses = im.responses.load(std::memory_order_relaxed);
+  s.retry_afters = im.retry_afters.load(std::memory_order_relaxed);
+  s.protocol_errors = im.protocol_errors.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace parspan::net

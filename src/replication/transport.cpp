@@ -14,32 +14,19 @@ constexpr size_t kShipHeaderSize = 1 + 8 + 4 + 4;
 // u64 | snap_cnt u32 | graph_cnt u32.
 constexpr size_t kSnapshotFixedSize = 8 + 4 + 8 + 8 + 4 + 4;
 
+// Thin adapters over the shared durability/frame.hpp ascending-list codec
+// (the ship format predates the extraction but used the identical layout).
 void encode_key_list(std::span<const EdgeKey> keys, std::vector<uint8_t>* out) {
-  uint8_t buf[kMaxUvarintLen];
-  uint64_t prev = 0;
-  bool first = true;
-  for (EdgeKey k : keys) {
-    assert((first || k > prev) && "ship key lists must be strictly ascending");
-    size_t len = put_uvarint(buf, first ? k : k - prev);
-    out->insert(out->end(), buf, buf + len);
-    prev = k;
-    first = false;
-  }
+  const size_t at = out->size();
+  out->resize(at + ascending_list_bound(keys.size()));
+  uint8_t* end = encode_ascending_list(keys.data(), keys.size(),
+                                       out->data() + at);
+  out->resize(size_t(end - out->data()));
 }
 
 bool decode_key_list(const uint8_t** p, const uint8_t* end, uint64_t cnt,
                      std::vector<EdgeKey>* out) {
-  out->clear();
-  out->reserve(cnt);
-  uint64_t prev = 0;
-  for (uint64_t i = 0; i < cnt; ++i) {
-    uint64_t d = 0;
-    if (!get_uvarint(p, end, &d)) return false;
-    if (i > 0 && (d == 0 || d > UINT64_MAX - prev)) return false;
-    prev = i == 0 ? d : prev + d;
-    out->push_back(prev);
-  }
-  return true;
+  return decode_ascending_list(p, end, cnt, out);
 }
 
 // Canonical, in-range edge keys only: a snapshot frame's key lists define

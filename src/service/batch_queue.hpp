@@ -36,10 +36,14 @@
 // more distinct pending keys — backpressure against a writer that cannot
 // keep up. The bound gates *admission*: one admitted batch inserts all its
 // keys, so the pending count can overshoot capacity by up to that batch's
-// size. Tickets: every submit gets the next per-queue ticket; drain() reports
-// the highest ticket it covers, which is what the service's flush() barrier
-// waits on. Optionally each submit's steady_clock timestamp rides along so
-// the service can report ingest-to-visible latency per covered submit.
+// size. Empty batches are exempt: they contribute no pending keys and no
+// drainable work, so they admit immediately — a heartbeat stream against a
+// paused queue must not eat the admission budget real producers need.
+// Tickets: every submit (noops included) gets the next per-queue ticket;
+// drain() reports the highest ticket it covers, which is what the
+// service's flush() barrier waits on. Optionally each non-empty submit's
+// steady_clock timestamp rides along so the service can report
+// ingest-to-visible latency per covered submit.
 //
 // Thread safety: any number of producer threads may submit() concurrently
 // with one drain()er (drain itself is serialized per shard by WorkerPool's
@@ -87,18 +91,24 @@ class BatchQueue {
   /// on, the per-submit time log is admission-bounded too, so memory
   /// stays proportional to capacity either way). Returns this submit's
   /// ticket — flush barriers compare it against drained tickets. Empty
-  /// batches still take a ticket, so flush-after-noop stays well-defined.
+  /// batches still take a ticket (flush-after-noop stays well-defined) but
+  /// are exempt from the admission bound and take no timestamp slot: they
+  /// add no pending keys and no drainable work, so a heartbeat/noop stream
+  /// against a paused queue must never fill the queue's admission budget
+  /// and wedge real producers behind a bound only a drain can release.
   uint64_t submit(const std::vector<Edge>& insertions,
                   const std::vector<Edge>& deletions) {
+    const bool noop = insertions.empty() && deletions.empty();
     std::unique_lock<std::mutex> lk(mu_);
-    not_full_.wait(lk, [this] {
-      return pending_.size() < capacity_ &&
-             (!record_times_ || submit_times_.size() < capacity_);
-    });
+    if (!noop)
+      not_full_.wait(lk, [this] {
+        return pending_.size() < capacity_ &&
+               (!record_times_ || submit_times_.size() < capacity_);
+      });
     for (const Edge& e : deletions) pending_[e.key()] = kDelete;
     for (const Edge& e : insertions) pending_[e.key()] |= kInsert;
     uint64_t t = ++last_ticket_;
-    if (record_times_)
+    if (record_times_ && !noop)
       submit_times_.emplace_back(t, std::chrono::steady_clock::now());
     return t;
   }
@@ -111,16 +121,19 @@ class BatchQueue {
   std::optional<uint64_t> submit_for(const std::vector<Edge>& insertions,
                                      const std::vector<Edge>& deletions,
                                      std::chrono::nanoseconds timeout) {
+    const bool noop = insertions.empty() && deletions.empty();
     std::unique_lock<std::mutex> lk(mu_);
-    bool ok = not_full_.wait_for(lk, timeout, [this] {
-      return pending_.size() < capacity_ &&
-             (!record_times_ || submit_times_.size() < capacity_);
-    });
-    if (!ok) return std::nullopt;
+    if (!noop) {
+      bool ok = not_full_.wait_for(lk, timeout, [this] {
+        return pending_.size() < capacity_ &&
+               (!record_times_ || submit_times_.size() < capacity_);
+      });
+      if (!ok) return std::nullopt;
+    }
     for (const Edge& e : deletions) pending_[e.key()] = kDelete;
     for (const Edge& e : insertions) pending_[e.key()] |= kInsert;
     uint64_t t = ++last_ticket_;
-    if (record_times_)
+    if (record_times_ && !noop)
       submit_times_.emplace_back(t, std::chrono::steady_clock::now());
     return t;
   }

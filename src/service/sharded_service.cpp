@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 
 #include "container/flat_map.hpp"
 #include "util/rng.hpp"
@@ -317,13 +318,21 @@ ShardedSpannerService::SubmitStatus ShardedSpannerService::submit_for(
   }
   if (rejected) edges_rejected_.fetch_add(rejected, std::memory_order_relaxed);
   SubmitStatus status = SubmitStatus::kOk;
+  // ONE deadline shared by every owning shard: `timeout` bounds the whole
+  // call, so each shard gets only the budget its predecessors left. (The
+  // old per-shard grant let a cross-shard batch block up to S x timeout —
+  // Sharded.SubmitForSharesOneDeadlineAcrossShards regression-tests the
+  // fix.) A shard reached past the deadline still gets a zero-timeout
+  // admission try: a non-full queue admits instantly either way.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (size_t s = 0; s < S; ++s) {
     if (ins_by[s].empty() && del_by[s].empty()) continue;
     const size_t sz = ins_by[s].size() + del_by[s].size();
-    // Each shard gets the full timeout (not a shared deadline): the common
-    // case is one owning shard, and per-shard admission is what the status
-    // reports anyway.
-    if (shards_[s]->queue.submit_for(ins_by[s], del_by[s], timeout)) {
+    const auto remaining = std::max(
+        std::chrono::nanoseconds::zero(),
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline - std::chrono::steady_clock::now()));
+    if (shards_[s]->queue.submit_for(ins_by[s], del_by[s], remaining)) {
       edges_ingested_.fetch_add(sz, std::memory_order_relaxed);
       if (!paused_.load(std::memory_order_relaxed)) pool_->notify(s);
     } else {
@@ -362,15 +371,34 @@ bool ShardedSpannerService::drain_shard(size_t s) {
                             .count());
     }
   }
+  // Fire every flush_async barrier this publish completed. Callbacks are
+  // collected under the lock but invoked outside it: a callback may call
+  // back into the service (versions(), view(), even another flush_async).
+  std::vector<std::function<void(VersionVector)>> fired;
   {
     std::lock_guard<std::mutex> lk(barrier_mu_);
     if (d.ticket > sh.published_ticket) sh.published_ticket = d.ticket;
+    for (size_t i = 0; i < flush_waiters_.size();) {
+      bool done = true;
+      for (size_t t = 0; t < shards_.size(); ++t)
+        if (shards_[t]->published_ticket < flush_waiters_[i].targets[t]) {
+          done = false;
+          break;
+        }
+      if (done) {
+        fired.push_back(std::move(flush_waiters_[i].done));
+        flush_waiters_.erase(flush_waiters_.begin() + i);  // FIFO fairness
+      } else {
+        ++i;
+      }
+    }
   }
-  barrier_cv_.notify_all();
+  for (auto& done : fired) done(versions());
   return !paused_.load(std::memory_order_relaxed) && !sh.queue.empty();
 }
 
-VersionVector ShardedSpannerService::flush() {
+void ShardedSpannerService::flush_async(
+    std::function<void(VersionVector)> done) {
   const size_t S = shards_.size();
   std::vector<uint64_t> targets(S);
   for (size_t s = 0; s < S; ++s) targets[s] = shards_[s]->queue.last_ticket();
@@ -378,20 +406,31 @@ VersionVector ShardedSpannerService::flush() {
   // queues (BatchQueue::drain's gate) before the notifies land.
   for (size_t s = 0; s < S; ++s) shards_[s]->queue.demand(targets[s]);
   std::vector<size_t> needs;
+  bool satisfied = true;
   {
     std::lock_guard<std::mutex> lk(barrier_mu_);
     for (size_t s = 0; s < S; ++s)
-      if (shards_[s]->published_ticket < targets[s]) needs.push_back(s);
+      if (shards_[s]->published_ticket < targets[s]) {
+        satisfied = false;
+        needs.push_back(s);
+      }
+    if (!satisfied)
+      flush_waiters_.push_back({std::move(targets), std::move(done)});
+  }
+  if (satisfied) {
+    done(versions());
+    return;
   }
   for (size_t s : needs) pool_->notify(s);
-  std::unique_lock<std::mutex> lk(barrier_mu_);
-  barrier_cv_.wait(lk, [&] {
-    for (size_t s = 0; s < S; ++s)
-      if (shards_[s]->published_ticket < targets[s]) return false;
-    return true;
-  });
-  lk.unlock();
-  return versions();
+}
+
+VersionVector ShardedSpannerService::flush() {
+  // The synchronous barrier is the async one plus a wait.
+  std::promise<VersionVector> published;
+  std::future<VersionVector> result = published.get_future();
+  flush_async(
+      [&published](VersionVector vv) { published.set_value(std::move(vv)); });
+  return result.get();
 }
 
 VersionVector ShardedSpannerService::versions() const {
@@ -414,6 +453,19 @@ ShardedView ShardedSpannerService::view() const {
   std::vector<SpannerSnapshot::Ptr> snaps;
   snaps.reserve(shards_.size());
   for (const auto& sh : shards_) snaps.push_back(sh->service->snapshot());
+  return ShardedView(router_, n_, std::move(snaps));
+}
+
+std::optional<ShardedView> ShardedSpannerService::try_view_at_least(
+    const VersionVector& vv) const {
+  if (vv.v.size() != shards_.size()) return std::nullopt;
+  std::vector<SpannerSnapshot::Ptr> snaps;
+  snaps.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    SpannerSnapshot::Ptr snap = shards_[s]->service->snapshot();
+    if (snap->version() < vv.v[s]) return std::nullopt;
+    snaps.push_back(std::move(snap));
+  }
   return ShardedView(router_, n_, std::move(snaps));
 }
 

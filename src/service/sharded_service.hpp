@@ -58,10 +58,11 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/fully_dynamic_spanner.hpp"
@@ -374,12 +375,30 @@ class ShardedSpannerService {
   /// pending rounds itself); concurrent submits may ride along.
   VersionVector flush();
 
+  /// flush() without the wait: invokes `done` exactly once — when every
+  /// submit that preceded this call is drained, applied, and published —
+  /// passing a VersionVector every later view() dominates. `done` runs
+  /// inline when the barrier is already satisfied, otherwise on whichever
+  /// writer-pool drain completes it; it must not block (it would stall
+  /// that shard's drain slot). This is the net front door's flush path: an
+  /// event loop must never park a thread on the barrier (DESIGN.md §13.4).
+  /// Callbacks still pending at destruction are dropped with the queues.
+  void flush_async(std::function<void(VersionVector)> done);
+
   /// Currently served per-shard versions (no barrier).
   VersionVector versions() const;
 
   /// Pins one immutable snapshot per shard (shard order, no cross-shard
   /// barrier — see class comment; flush() first for read-your-writes).
   ShardedView view() const;
+
+  /// Pin-by-VersionVector acquire: a view whose per-shard versions
+  /// dominate `vv`, or nullopt when some shard has not yet published that
+  /// far (or the shard counts differ). NEVER blocks — per-shard versions
+  /// are monotone, so a vv handed back by flush()/flush_async() is
+  /// immediately pinnable, and anything else is the caller's retry loop
+  /// (protocol-level pushback, not a parked thread — DESIGN.md §13.3).
+  std::optional<ShardedView> try_view_at_least(const VersionVector& vv) const;
 
   /// Suspends draining: submits keep coalescing in the queues (bounded by
   /// queue_capacity) until resume() or flush(). With draining paused,
@@ -459,6 +478,13 @@ class ShardedSpannerService {
 
   bool drain_shard(size_t s);
 
+  /// One registered flush_async barrier: fire `done` once every shard's
+  /// published ticket reaches its target. Guarded by barrier_mu_.
+  struct FlushWaiter {
+    std::vector<uint64_t> targets;
+    std::function<void(VersionVector)> done;
+  };
+
   ShardedConfig cfg_;
   // shared_ptr so views can co-own it (a pinned ShardedView must outlive
   // the service if its holder does).
@@ -467,7 +493,7 @@ class ShardedSpannerService {
   size_t n_ = 0;  // max shard vertex-space size (view bounds)
 
   mutable std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
+  std::vector<FlushWaiter> flush_waiters_;  // guarded by barrier_mu_
 
   mutable std::mutex lat_mu_;
   std::vector<int64_t> lat_ns_;

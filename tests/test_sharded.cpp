@@ -853,6 +853,113 @@ TEST(Sharded, SubmitForPartialAdmissionAcrossShards) {
   EXPECT_EQ(svc->edges_timed_out(), 1u);  // the retry timed nothing out
 }
 
+// Regression (PR 9): empty batches on a paused queue with record_times
+// used to take a timestamp slot each, so `capacity` heartbeat/noop submits
+// filled submit_times_ to the admission bound and every later REAL submit
+// blocked until a flush demand happened to drain — a wedge with no
+// producer-visible cause. Empty batches are now exempt from the admission
+// bound and the time log.
+TEST(BatchQueue, EmptySubmitsExemptFromAdmissionBoundAndTimeLog) {
+  constexpr size_t kCap = 4;
+  BatchQueue q(kCap, /*record_times=*/true, /*start_paused=*/true);
+  // Paused: nothing drains. Exactly kCap noops — before the fix each took
+  // a timestamp slot, filling the admission bound (one more would have
+  // hung outright).
+  uint64_t last = 0;
+  for (size_t i = 0; i < kCap; ++i) last = q.submit({}, {});
+  EXPECT_EQ(last, kCap);  // noops still take tickets (flush-after-noop)
+  EXPECT_EQ(q.pending_keys(), 0u);
+
+  // The real submit must be admitted immediately — the deadline is only a
+  // test harness so a regression fails instead of hanging.
+  auto t = q.submit_for({Edge(1, 2)}, {}, std::chrono::milliseconds(100));
+  ASSERT_TRUE(t.has_value()) << "empty submits consumed admission capacity";
+  EXPECT_EQ(*t, kCap + 1);
+
+  // The drain covers every noop ticket but logs only the real submit.
+  q.demand(*t);
+  BatchQueue::Drained d = q.drain();
+  EXPECT_EQ(d.ticket, *t);
+  ASSERT_EQ(d.submit_times.size(), 1u);
+  EXPECT_EQ(d.submit_times[0].first, *t);
+}
+
+// Regression (PR 9): submit_for granted each owning shard the FULL
+// timeout sequentially, so a cross-shard batch against S wedged shards
+// blocked up to S x timeout. One deadline is now shared: later shards get
+// only the remaining budget (zero past the deadline — still a
+// non-blocking admission try).
+TEST(Sharded, SubmitForSharesOneDeadlineAcrossShards) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  ShardedConfig sc;
+  sc.queue_capacity = 1;   // one pending key per shard = full
+  sc.start_paused = true;  // nothing drains: every queue stays wedged
+  const size_t n = 64;     // 4 shards x stride 16
+  auto svc = ShardedSpannerService::single_graph(n, {}, 4, cfg, sc);
+
+  // Wedge all four shard queues.
+  ASSERT_EQ(svc->submit_for({Edge(0, 1), Edge(16, 17), Edge(32, 33),
+                             Edge(48, 49)},
+                            {}, std::chrono::milliseconds(50)),
+            ShardedSpannerService::SubmitStatus::kOk);
+
+  const auto timeout = std::chrono::milliseconds(200);
+  const std::vector<Edge> cross = {Edge(2, 3), Edge(18, 19), Edge(34, 35),
+                                   Edge(50, 51)};
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(svc->submit_for(cross, {}, timeout),
+            ShardedSpannerService::SubmitStatus::kTimeout);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(svc->edges_timed_out(), cross.size());
+  // Broken code waits ~4x timeout (800ms). The shared deadline bounds the
+  // whole call by ~timeout; 2.5x leaves slack for scheduler noise.
+  EXPECT_LT(elapsed, timeout * 5 / 2)
+      << "cross-shard submit_for stacked per-shard timeouts";
+}
+
+// flush_async: the callback fires exactly once, after every pre-call
+// submit is published; its VersionVector is pin-able via
+// try_view_at_least, and a vv the service has not reached yet is refused
+// without blocking.
+TEST(Sharded, FlushAsyncBarrierAndPinByVersionVector) {
+  FullyDynamicSpannerConfig cfg;
+  cfg.k = 2;
+  auto svc = ShardedSpannerService::single_graph(64, {}, 2, cfg, {});
+
+  // Inline fire: nothing pending, the barrier is already satisfied.
+  int inline_calls = 0;
+  svc->flush_async([&](VersionVector vv) {
+    ++inline_calls;
+    EXPECT_EQ(vv.v.size(), 2u);
+  });
+  EXPECT_EQ(inline_calls, 1);
+
+  svc->submit({Edge(1, 2), Edge(40, 41)}, {});
+  std::atomic<int> calls{0};
+  std::atomic<bool> pinned_ok{false};
+  svc->flush_async([&](VersionVector vv) {
+    // Pin-by-vv from the completion itself: read-your-writes with no
+    // second barrier (the net server's post-flush pin path).
+    auto view = svc->try_view_at_least(vv);
+    if (view.has_value() && view->has_edge(1, 2) && view->has_edge(40, 41) &&
+        view->versions().dominates(vv))
+      pinned_ok.store(true);
+    calls.fetch_add(1);
+  });
+  svc->flush();  // dominating barrier: the async one must have fired too
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_TRUE(pinned_ok.load());
+
+  // A future the service has not published is refused, never waited for.
+  VersionVector ahead = svc->versions();
+  ahead.v[0] += 1;
+  EXPECT_FALSE(svc->try_view_at_least(ahead).has_value());
+  VersionVector wrong_shape;
+  wrong_shape.v = {0};
+  EXPECT_FALSE(svc->try_view_at_least(wrong_shape).has_value());
+}
+
 // durability_failed() is the replication/ops health probe: false without
 // durability, false while the WAL is healthy, and sticky-true after a
 // shard's WAL append fails — while the service itself keeps serving reads
