@@ -68,7 +68,10 @@ bool NetClient::send_bytes(const std::vector<uint8_t>& bytes) {
   if (fd_ < 0) return false;
   size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t w = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    // MSG_NOSIGNAL: a server that closed this connection must read as a
+    // failed send, not SIGPIPE the client process.
+    const ssize_t w =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (w <= 0) {
       if (w < 0 && errno == EINTR) continue;
       close_now();

@@ -41,7 +41,9 @@ struct Conn {
   size_t out_off = 0;  // sent-up-to offset into `out`
   uint32_t next_seq = 0;  // requests are implicitly numbered in arrival order
   bool hello_done = false;
-  bool dead = false;  // marked mid-processing, reaped at batch end
+  bool dead = false;   // no more reads/requests; reaped at batch end
+  bool drain = false;  // dead, but flush buffered responses first (bounded)
+  Clock::time_point drain_deadline{};
   uint64_t next_pin_id = 0;
   std::unordered_map<uint64_t, ShardedView> pins;
 
@@ -60,13 +62,14 @@ struct FlushDone {
 
 /// A kSubmitFor waiting for queue admission: the REQUEST is parked, the
 /// loop thread is not. Retried on every loop tick until admission wins or
-/// the deadline expires into kRetryAfter.
+/// the deadline expires into kRetryAfter. The RoutedBatch remembers which
+/// shards already admitted, so a retry touches only the still-full ones —
+/// and the service's edges_ingested/edges_timed_out counters therefore
+/// count each edge exactly once, not once per tick.
 struct Parked {
   uint64_t conn_id = 0;
   uint32_t seq = 0;
-  uint32_t graph_id = 0;
-  std::vector<Edge> insertions;
-  std::vector<Edge> deletions;
+  ShardedSpannerService::RoutedBatch batch;
   Clock::time_point deadline;
 };
 
@@ -119,6 +122,7 @@ struct Loop {
   std::thread thread;
   std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;  // by conn id
   std::deque<Parked> parked;
+  bool draining = false;  // any conn flushing out its last responses
 };
 
 void drop_prefix(std::vector<uint8_t>& buf, size_t& off) {
@@ -170,6 +174,26 @@ struct NetServer::Impl {
     responses.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // --- Two ways for a connection to die ---------------------------------
+  // Hard: reaped at batch end no matter what is still buffered (protocol
+  // violations, write errors, slow-reader overflow). Soft: stop reading
+  // but keep flushing buffered responses — bounded by drain_linger_ms —
+  // so a version-mismatch kError or the pipelined responses behind a
+  // half-close actually reach the peer before the fd closes.
+
+  static void kill_conn(Conn* c) {
+    c->dead = true;
+    c->drain = false;
+  }
+
+  void close_after_drain(Conn* c) {
+    if (c->dead) return;
+    c->dead = true;
+    c->drain = true;
+    c->drain_deadline =
+        Clock::now() + std::chrono::milliseconds(cfg.drain_linger_ms);
+  }
+
   HelloInfo hello_info() const {
     HelloInfo h;
     h.num_shards = uint32_t(svc.num_shards());
@@ -217,7 +241,7 @@ struct NetServer::Impl {
       }
       if (req.version != kProtocolVersion) {
         respond_error(c, seq, "protocol version mismatch");
-        c->dead = true;  // the error response still flushes before close
+        close_after_drain(c);  // the error response flushes before close
         return;
       }
       c->hello_done = true;
@@ -235,23 +259,25 @@ struct NetServer::Impl {
           respond_error(c, seq, "edge key out of range");
           break;
         }
-        auto ins = to_edges(req.insertions);
-        auto del = to_edges(req.deletions);
         // Admission is ALWAYS a zero-timeout try on the loop thread; a
-        // parked kSubmitFor retries the same try on later ticks. On
-        // kRetryAfter some shards' sub-batches may already be in (the
-        // service's documented partial admission) — resubmission is
-        // idempotent under the queue's last-op-wins set semantics, so
-        // "retry the whole batch" is the client contract.
-        auto st = svc.submit_for(req.graph_id, ins, del,
-                                 std::chrono::nanoseconds::zero());
+        // parked kSubmitFor keeps the RoutedBatch and retries only its
+        // not-yet-admitted shards on later ticks. On kRetryAfter some
+        // shards' sub-batches are already in (the service's documented
+        // partial admission) — drop_pending charges the rest to
+        // edges_timed_out exactly once, and "retry the whole batch" is
+        // the client contract (resubmission is idempotent under the
+        // queue's last-op-wins set semantics).
+        auto batch = svc.route_batch(req.graph_id, to_edges(req.insertions),
+                                     to_edges(req.deletions));
+        auto st = svc.try_admit(batch);
         if (st == ShardedSpannerService::SubmitStatus::kOk) {
           respond_ok(c, seq, {});
         } else if (req.op == Op::kSubmitFor && req.timeout_ms > 0) {
           loop.parked.push_back(
-              {c->id, seq, req.graph_id, std::move(ins), std::move(del),
+              {c->id, seq, std::move(batch),
                Clock::now() + std::chrono::milliseconds(req.timeout_ms)});
         } else {
+          svc.drop_pending(batch);
           respond_retry(c, seq);
         }
         break;
@@ -276,12 +302,20 @@ struct NetServer::Impl {
         if (req.vv.empty()) {
           view = svc.view();
         } else {
+          if (req.vv.size() != svc.num_shards()) {
+            // A wrong-length vector can never become pinnable, so
+            // kRetryAfter's "retry the SAME request" contract would loop
+            // forever — this is a client bug (hello said num_shards),
+            // answered as the semantic error it is.
+            respond_error(c, seq, "version vector shard count mismatch");
+            break;
+          }
           VersionVector target;
           target.v = req.vv;
           view = svc.try_view_at_least(target);
           if (!view) {
-            // Not published that far yet (or wrong shard count): protocol
-            // backpressure, the client's retry loop — never a wait here.
+            // Not published that far yet: protocol backpressure, the
+            // client's retry loop — never a wait here.
             respond_retry(c, seq);
             break;
           }
@@ -410,31 +444,34 @@ struct NetServer::Impl {
     }
     process_frames(loop, c);
     // Half-closed peers (shutdown(SHUT_WR)) get their pipelined responses
-    // written below before the reap; full closes just fail the write.
-    if (eof) c->dead = true;
+    // drained before the reap; full closes just fail the write.
+    if (eof) close_after_drain(c);
     flush_writes(c);
   }
 
   /// Edge-triggered write: push until done or EAGAIN; the kernel raises
   /// the next EPOLLOUT edge when the socket drains. Called after every
   /// append too — an idle-writable socket never gets another edge.
+  /// MSG_NOSIGNAL: a peer that resets mid-flush must surface as EPIPE on
+  /// this connection, not SIGPIPE the whole process — remote disconnects
+  /// are hostile-client input, never allowed to kill the server.
   void flush_writes(Conn* c) {
     while (c->out_off < c->out.size()) {
-      const ssize_t w = ::write(c->fd, c->out.data() + c->out_off,
-                                c->out.size() - c->out_off);
+      const ssize_t w = ::send(c->fd, c->out.data() + c->out_off,
+                               c->out.size() - c->out_off, MSG_NOSIGNAL);
       if (w > 0) {
         c->out_off += size_t(w);
       } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
         break;
       } else {
-        c->dead = true;
+        kill_conn(c);  // EPIPE/ECONNRESET: nothing left to drain to
         return;
       }
     }
     if (c->out.size() - c->out_off > cfg.max_outbuf_bytes) {
       // Slow reader with unbounded pipelined responses: disconnect rather
       // than buffer without bound.
-      c->dead = true;
+      kill_conn(c);
       return;
     }
     drop_prefix(c->out, c->out_off);
@@ -494,11 +531,13 @@ struct NetServer::Impl {
         loop.parked.erase(loop.parked.begin() + ptrdiff_t(i));
         continue;
       }
-      const auto st = svc.submit_for(p.graph_id, p.insertions, p.deletions,
-                                     std::chrono::nanoseconds::zero());
+      // Only the not-yet-admitted shards are retried: the batch carries
+      // its admission state, so counters move once per edge, not per tick.
+      const auto st = svc.try_admit(p.batch);
       if (st == ShardedSpannerService::SubmitStatus::kOk) {
         respond_ok(c, p.seq, {});
       } else if (now >= p.deadline) {
+        svc.drop_pending(p.batch);
         respond_retry(c, p.seq);
       } else {
         ++i;
@@ -513,7 +552,10 @@ struct NetServer::Impl {
     epoll_event evs[64];
     std::vector<uint64_t> dead;
     while (running.load(std::memory_order_acquire)) {
-      const int timeout = loop.parked.empty() ? -1 : int(cfg.tick_ms);
+      // Tick (instead of sleeping forever) while anything needs future
+      // work: parked admission retries, or drain deadlines to enforce.
+      const int timeout =
+          loop.parked.empty() && !loop.draining ? -1 : int(cfg.tick_ms);
       const int n = epoll_wait(loop.epfd, evs, 64, timeout);
       for (int i = 0; i < n; ++i) {
         if (evs[i].data.ptr == nullptr) {
@@ -521,19 +563,33 @@ struct NetServer::Impl {
           continue;
         }
         Conn* c = static_cast<Conn*>(evs[i].data.ptr);
-        if (c->dead) continue;  // multiple events for a conn reaped below
-        if (evs[i].events & (EPOLLERR | EPOLLHUP)) c->dead = true;
+        if (c->dead && !c->drain) continue;  // reaped below
+        if (evs[i].events & (EPOLLERR | EPOLLHUP)) kill_conn(c);
         if (!c->dead && (evs[i].events & EPOLLIN)) handle_readable(loop, c);
-        if (!c->dead && (evs[i].events & EPOLLOUT)) flush_writes(c);
+        // Draining conns still take EPOLLOUT: that edge is what empties
+        // their outbuf so the reap below can close them.
+        if ((!c->dead || c->drain) && (evs[i].events & EPOLLOUT))
+          flush_writes(c);
       }
       retry_parked(loop);
       // Reap AFTER the whole event batch: evs[] may hold more events for
       // a conn marked dead by an earlier one, so freeing mid-batch would
-      // dangle. A conn with a flushing error response closes once its
-      // outbuf is empty or the write would block no further.
+      // dangle. A draining conn survives the reap until its outbuf is
+      // empty or its linger deadline passes — best-effort delivery of the
+      // responses it was owed, never an unbounded hold.
       dead.clear();
-      for (auto& [id, c] : loop.conns)
-        if (c->dead) dead.push_back(id);
+      bool draining = false;
+      const auto now = Clock::now();
+      for (auto& [id, c] : loop.conns) {
+        if (!c->dead) continue;
+        if (c->drain && c->out_off < c->out.size() &&
+            now < c->drain_deadline) {
+          draining = true;
+          continue;
+        }
+        dead.push_back(id);
+      }
+      loop.draining = draining;
       for (uint64_t id : dead) close_conn(loop, id);
     }
   }
@@ -560,7 +616,17 @@ struct NetServer::Impl {
         for (;;) {
           const int fd = accept4(listen_fd, nullptr, nullptr,
                                  SOCK_NONBLOCK | SOCK_CLOEXEC);
-          if (fd < 0) break;  // EAGAIN, or transient (ECONNABORTED, EMFILE)
+          if (fd < 0) {
+            // fd exhaustion leaves the backlog readable, so the level-
+            // triggered epoll would re-report it instantly and this loop
+            // would spin at 100% CPU for as long as the exhaustion lasts.
+            // Back off briefly instead: accepts degrade to slow, not to a
+            // burned core.
+            if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+                errno == ENOMEM)
+              std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            break;  // EAGAIN, or transient (ECONNABORTED)
+          }
           int one = 1;
           setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
           // Round-robin dealing: a connection's loop is fixed for life,

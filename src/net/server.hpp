@@ -69,6 +69,11 @@ struct NetServerConfig {
   uint32_t tick_ms = 2;
   /// Pin-table cap per connection (kError above it).
   size_t max_pins_per_conn = 64;
+  /// A gracefully-closing connection (peer EOF with responses pending, or
+  /// an error reply sent just before close) keeps flushing its output for
+  /// at most this long before the fd is reaped anyway — best-effort
+  /// delivery of owed responses, never an unbounded hold.
+  uint32_t drain_linger_ms = 1000;
   int listen_backlog = 1024;
 };
 

@@ -296,28 +296,67 @@ void ShardedSpannerService::submit(uint32_t graph_id,
   }
 }
 
-ShardedSpannerService::SubmitStatus ShardedSpannerService::submit_for(
+ShardedSpannerService::RoutedBatch ShardedSpannerService::route_batch(
     uint32_t graph_id, const std::vector<Edge>& insertions,
-    const std::vector<Edge>& deletions, std::chrono::nanoseconds timeout) {
+    const std::vector<Edge>& deletions) {
   const size_t S = shards_.size();
-  std::vector<std::vector<Edge>> ins_by(S), del_by(S);
+  RoutedBatch rb;
+  rb.ins_by_.resize(S);
+  rb.del_by_.resize(S);
   size_t rejected = 0;
   for (const Edge& e : insertions) {
     uint32_t s = router_->shard_of(graph_id, e.key());
     if (s < S)
-      ins_by[s].push_back(e);
+      rb.ins_by_[s].push_back(e);
     else
       ++rejected;
   }
   for (const Edge& e : deletions) {
     uint32_t s = router_->shard_of(graph_id, e.key());
     if (s < S)
-      del_by[s].push_back(e);
+      rb.del_by_[s].push_back(e);
     else
       ++rejected;
   }
   if (rejected) edges_rejected_.fetch_add(rejected, std::memory_order_relaxed);
-  SubmitStatus status = SubmitStatus::kOk;
+  for (uint32_t s = 0; s < S; ++s)
+    if (!rb.ins_by_[s].empty() || !rb.del_by_[s].empty())
+      rb.pending_.push_back(s);
+  return rb;
+}
+
+bool ShardedSpannerService::admit_shard(RoutedBatch& batch, size_t idx,
+                                        std::chrono::nanoseconds timeout) {
+  const uint32_t s = batch.pending_[idx];
+  if (!shards_[s]->queue.submit_for(batch.ins_by_[s], batch.del_by_[s],
+                                    timeout))
+    return false;
+  edges_ingested_.fetch_add(batch.ins_by_[s].size() + batch.del_by_[s].size(),
+                            std::memory_order_relaxed);
+  if (!paused_.load(std::memory_order_relaxed)) pool_->notify(s);
+  batch.pending_.erase(batch.pending_.begin() + ptrdiff_t(idx));
+  return true;
+}
+
+ShardedSpannerService::SubmitStatus ShardedSpannerService::try_admit(
+    RoutedBatch& batch) {
+  for (size_t i = 0; i < batch.pending_.size();)
+    if (!admit_shard(batch, i, std::chrono::nanoseconds::zero())) ++i;
+  return batch.pending_.empty() ? SubmitStatus::kOk : SubmitStatus::kTimeout;
+}
+
+void ShardedSpannerService::drop_pending(RoutedBatch& batch) {
+  for (uint32_t s : batch.pending_)
+    edges_timed_out_.fetch_add(
+        batch.ins_by_[s].size() + batch.del_by_[s].size(),
+        std::memory_order_relaxed);
+  batch.pending_.clear();
+}
+
+ShardedSpannerService::SubmitStatus ShardedSpannerService::submit_for(
+    uint32_t graph_id, const std::vector<Edge>& insertions,
+    const std::vector<Edge>& deletions, std::chrono::nanoseconds timeout) {
+  RoutedBatch rb = route_batch(graph_id, insertions, deletions);
   // ONE deadline shared by every owning shard: `timeout` bounds the whole
   // call, so each shard gets only the budget its predecessors left. (The
   // old per-shard grant let a cross-shard batch block up to S x timeout —
@@ -325,22 +364,16 @@ ShardedSpannerService::SubmitStatus ShardedSpannerService::submit_for(
   // fix.) A shard reached past the deadline still gets a zero-timeout
   // admission try: a non-full queue admits instantly either way.
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  for (size_t s = 0; s < S; ++s) {
-    if (ins_by[s].empty() && del_by[s].empty()) continue;
-    const size_t sz = ins_by[s].size() + del_by[s].size();
+  for (size_t i = 0; i < rb.pending_.size();) {
     const auto remaining = std::max(
         std::chrono::nanoseconds::zero(),
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             deadline - std::chrono::steady_clock::now()));
-    if (shards_[s]->queue.submit_for(ins_by[s], del_by[s], remaining)) {
-      edges_ingested_.fetch_add(sz, std::memory_order_relaxed);
-      if (!paused_.load(std::memory_order_relaxed)) pool_->notify(s);
-    } else {
-      edges_timed_out_.fetch_add(sz, std::memory_order_relaxed);
-      status = SubmitStatus::kTimeout;
-    }
+    if (!admit_shard(rb, i, remaining)) ++i;
   }
-  return status;
+  if (rb.done()) return SubmitStatus::kOk;
+  drop_pending(rb);
+  return SubmitStatus::kTimeout;
 }
 
 bool ShardedSpannerService::drain_shard(size_t s) {

@@ -368,6 +368,42 @@ class ShardedSpannerService {
     return submit_for(0, insertions, deletions, timeout);
   }
 
+  /// A batch routed once, admitted incrementally — the retry-safe shape of
+  /// submit_for() for callers that poll instead of block (the net server's
+  /// parked kSubmitFor, DESIGN.md §13.4). Each try_admit() attempts ONLY
+  /// the shards that have not admitted yet, so a request retried across
+  /// many ticks still counts every edge exactly once in edges_ingested() /
+  /// edges_timed_out(). Opaque to holders; drive it with try_admit() and
+  /// drop_pending().
+  class RoutedBatch {
+   public:
+    RoutedBatch() = default;
+    /// True once no shard remains pending (all admitted or dropped).
+    bool done() const { return pending_.empty(); }
+
+   private:
+    friend class ShardedSpannerService;
+    std::vector<std::vector<Edge>> ins_by_, del_by_;
+    std::vector<uint32_t> pending_;  // shard indices not yet admitted
+  };
+
+  /// Splits one batch by the router, counting router-rejected updates in
+  /// edges_rejected() exactly once. Admits nothing yet.
+  RoutedBatch route_batch(uint32_t graph_id,
+                          const std::vector<Edge>& insertions,
+                          const std::vector<Edge>& deletions);
+
+  /// One zero-timeout admission pass over the batch's still-pending
+  /// shards. An admitted sub-batch is counted (edges_ingested) and its
+  /// shard notified exactly once, then never resubmitted. kOk once the
+  /// whole batch is in; kTimeout while any shard's queue stays full —
+  /// call again later (never blocks).
+  SubmitStatus try_admit(RoutedBatch& batch);
+
+  /// Gives up on the still-pending shards: their edges count in
+  /// edges_timed_out() (exactly once) and the batch becomes done().
+  void drop_pending(RoutedBatch& batch);
+
   /// Read-your-writes barrier: returns once every submit that happened
   /// before this call is drained, applied, and published on its shard.
   /// The returned VersionVector is dominated by every later view().
@@ -477,6 +513,11 @@ class ShardedSpannerService {
   };
 
   bool drain_shard(size_t s);
+
+  /// Admission of batch.pending_[idx] with the given budget: on success
+  /// the sub-batch is counted, its shard notified, and the index removed.
+  bool admit_shard(RoutedBatch& batch, size_t idx,
+                   std::chrono::nanoseconds timeout);
 
   /// One registered flush_async barrier: fire `done` once every shard's
   /// published ticket reaches its target. Guarded by barrier_mu_.

@@ -241,6 +241,12 @@ TEST(NetServer, SubmitFlushReadYourWritesAndPinByVersionVector) {
   future[0] += 100;
   EXPECT_EQ(client->pin(future).status, Status::kRetryAfter);
 
+  // The WRONG shard count can never become pinnable: that is a permanent
+  // kError, not kRetryAfter — kRetryAfter's "retry the SAME request"
+  // contract would loop a conforming client forever.
+  EXPECT_EQ(client->pin({vv->at(0)}).status, Status::kError);
+  EXPECT_EQ(client->pin({1, 2, 3}).status, Status::kError);
+
   EXPECT_TRUE(client->unpin(pin.pin.id));
   EXPECT_FALSE(client->unpin(pin.pin.id));  // double-unpin refused
 }
@@ -462,6 +468,94 @@ TEST(NetServer, DeferredResponsesCompleteOutOfOrder) {
   ASSERT_TRUE(r3.has_value());
   EXPECT_EQ(r3->seq, submit_seq);
   EXPECT_EQ(r3->status, Status::kOk);
+}
+
+// A parked kSubmitFor's retries must count each edge EXACTLY once: the
+// RoutedBatch carries per-shard admission state, so a retry tick neither
+// re-counts the shards that already admitted (edges_ingested) nor charges
+// the still-full shard before the deadline. Pre-fix, every 2ms tick
+// re-ran the full submit, inflating both counters ~timeout/tick_ms times.
+TEST(NetServer, ParkedRetriesCountEdgesExactlyOnce) {
+  ShardedConfig sc;
+  sc.queue_capacity = 2;
+  sc.start_paused = true;
+  ServerFixture fx(make_service(64, {}, 2, sc),
+                   [] {
+                     NetServerConfig c;
+                     c.num_loops = 1;
+                     return c;
+                   }());
+  auto client = NetClient::connect("127.0.0.1", fx.port());
+  ASSERT_TRUE(client.has_value());
+
+  // Wedge shard 0 (vertices 0..31): two distinct keys reach its admission
+  // bound, and the paused service never drains them.
+  EXPECT_EQ(client->submit(0, {Edge(1, 2), Edge(3, 4)}, {}).status,
+            Status::kOk);
+
+  // Cross-shard batch: shard 1's two edges admit on the first try; shard
+  // 0's edge parks through ~40 retry ticks and then expires.
+  EXPECT_EQ(client
+                ->submit_for(0, {Edge(5, 6), Edge(40, 41), Edge(42, 43)}, {},
+                             80)
+                .status,
+            Status::kRetryAfter);
+  EXPECT_EQ(fx.svc->edges_ingested(), 4u);   // 2 wedge + 2 shard-1, once
+  EXPECT_EQ(fx.svc->edges_timed_out(), 1u);  // Edge(5,6), once, at expiry
+
+  // Park again and free capacity mid-park: late admission through the
+  // retry path also counts exactly once.
+  std::thread unwedge([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    fx.svc->resume();
+  });
+  EXPECT_EQ(client->submit_for(0, {Edge(7, 8)}, {}, 2000).status,
+            Status::kOk);
+  unwedge.join();
+  EXPECT_EQ(fx.svc->edges_ingested(), 5u);
+  EXPECT_EQ(fx.svc->edges_timed_out(), 1u);
+}
+
+// A peer that resets its connection while the server still owes it
+// responses must surface as a dead connection, never SIGPIPE: before the
+// MSG_NOSIGNAL fix, the server's write could raise SIGPIPE (default
+// action: terminate), making every remote client a process kill switch.
+// Hammer the race window: pipeline work, then RST-close without reading.
+TEST(NetServer, PeerResetWhileResponsesPendingDoesNotKillProcess) {
+  ServerFixture fx(make_service(64, {Edge(1, 2)}, 2),
+                   [] {
+                     NetServerConfig c;
+                     c.num_loops = 1;
+                     return c;
+                   }());
+  for (int round = 0; round < 32; ++round) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    std::vector<uint8_t> burst;
+    net::encode_hello(burst);
+    for (int i = 0; i < 128; ++i) net::encode_neighbors(burst, 0, 1);
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL),
+              ssize_t(burst.size()));
+    // Alternate timing to widen race coverage: sometimes the RST lands
+    // while the server is still mid-burst, sometimes mid-flush.
+    if (round % 2)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // SO_LINGER(0) turns close() into an immediate RST: everything the
+    // server writes from here on hits a reset socket.
+    linger lg{1, 0};
+    setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd);
+  }
+  // The process survived every reset, and the loop still serves.
+  auto fresh = NetClient::connect("127.0.0.1", fx.port());
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->has_edge(0, 1, 2), std::optional<bool>(true));
 }
 
 TEST(NetServer, StopClosesConnectionsAndRestartWorks) {

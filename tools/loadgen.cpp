@@ -140,7 +140,8 @@ int connect_and_hello(uint16_t port) {
   net::encode_hello(frame);
   size_t off = 0;
   while (off < frame.size()) {
-    const ssize_t w = ::write(fd, frame.data() + off, frame.size() - off);
+    const ssize_t w =
+        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
     if (w <= 0) {
       std::fprintf(stderr, "loadgen: hello write failed\n");
       std::exit(1);
@@ -196,8 +197,10 @@ void encode_next_request(const Options& opt, ClientConn& c) {
 
 bool pump_writes(ClientConn& c) {
   while (c.out_off < c.out.size()) {
-    const ssize_t w =
-        ::write(c.fd, c.out.data() + c.out_off, c.out.size() - c.out_off);
+    // MSG_NOSIGNAL: a server-side disconnect is a per-connection failure,
+    // not a SIGPIPE for the whole loadgen process.
+    const ssize_t w = ::send(c.fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
     if (w > 0) {
       c.out_off += size_t(w);
     } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
