@@ -18,7 +18,9 @@
 #                            recovery-time vs log-length curve
 #   BENCH_replication.json — WAL shipping: leader->follower ship+apply
 #                            throughput, follower lag catch-up, and
-#                            failover promotion cost
+#                            failover promotion cost — each in a protocol-
+#                            only (ChannelTransport) row and a loopback-TCP
+#                            (SocketTransport) row pricing the real wire
 #   BENCH_net.json         — network front door: closed-loop request
 #                            latency (p50/p99/p999) + saturated QPS via
 #                            tools/loadgen at 1000 connections, plus the
@@ -142,7 +144,9 @@ echo "wrote $repo_root/BENCH_wal.json"
 echo "== replication benches (WAL shipping + follower catch-up + failover) =="
 # MemFs-backed: these price the protocol (frame encode/verify, checked
 # replay, the follower's own chain), not the disk — keep them off the
-# virtio-noise list, plain single runs suffice.
+# virtio-noise list, plain single runs suffice. The BM_Tcp* rows run the
+# same pump loops through ReplicationListener + SocketTransport on
+# loopback, so the Channel-vs-Tcp delta is exactly the wire cost.
 "$build_dir/bench_replication" \
   --benchmark_format=json \
   >"$tmpdir/bench_replication.tmp.json"

@@ -118,7 +118,8 @@ int main() {
   for (int i = 0; i < 2; ++i) survivors.push_back(group.detach(0));
   leader.reset();  // gone
 
-  auto elect = elect_longest_log({survivors[0].get(), survivors[1].get()});
+  auto elect = elect_longest_log(std::vector<const FollowerReplica*>{
+      survivors[0].get(), survivors[1].get()});
   if (!elect) {
     std::printf("no recoverable replica\n");
     return 1;

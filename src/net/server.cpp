@@ -1,6 +1,5 @@
 #include "net/server.hpp"
 
-#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -18,16 +17,13 @@
 #include <unordered_map>
 #include <utility>
 
+#include "net/framed_conn.hpp"
+
 namespace parspan::net {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-constexpr size_t kReadChunk = 64 * 1024;
-// Compact a buffer's consumed prefix once it crosses this, so long-lived
-// connections don't accrete dead bytes.
-constexpr size_t kCompactAt = 64 * 1024;
 
 /// One connection's entire state. Owned by exactly one event loop; never
 /// touched from any other thread (deferred completions go through the
@@ -35,10 +31,7 @@ constexpr size_t kCompactAt = 64 * 1024;
 struct Conn {
   int fd = -1;
   uint64_t id = 0;
-  std::vector<uint8_t> in;
-  size_t in_off = 0;  // parsed-up-to offset into `in`
-  std::vector<uint8_t> out;
-  size_t out_off = 0;  // sent-up-to offset into `out`
+  ConnBufs bufs;  // the shared framed-stream buffer discipline
   uint32_t next_seq = 0;  // requests are implicitly numbered in arrival order
   bool hello_done = false;
   bool dead = false;   // no more reads/requests; reaped at batch end
@@ -125,16 +118,6 @@ struct Loop {
   bool draining = false;  // any conn flushing out its last responses
 };
 
-void drop_prefix(std::vector<uint8_t>& buf, size_t& off) {
-  if (off == buf.size()) {
-    buf.clear();
-    off = 0;
-  } else if (off >= kCompactAt) {
-    buf.erase(buf.begin(), buf.begin() + ptrdiff_t(off));
-    off = 0;
-  }
-}
-
 }  // namespace
 
 struct NetServer::Impl {
@@ -161,16 +144,16 @@ struct NetServer::Impl {
   // --- Response helpers (bump the counters exactly once per response) ---
 
   void respond_ok(Conn* c, uint32_t seq, const std::vector<uint8_t>& body) {
-    append_ok(c->out, seq, body);
+    append_ok(c->bufs.out, seq, body);
     responses.fetch_add(1, std::memory_order_relaxed);
   }
   void respond_retry(Conn* c, uint32_t seq) {
-    append_retry_after(c->out, seq, cfg.retry_after_ms);
+    append_retry_after(c->bufs.out, seq, cfg.retry_after_ms);
     responses.fetch_add(1, std::memory_order_relaxed);
     retry_afters.fetch_add(1, std::memory_order_relaxed);
   }
   void respond_error(Conn* c, uint32_t seq, const std::string& msg) {
-    append_error(c->out, seq, msg);
+    append_error(c->bufs.out, seq, msg);
     responses.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -395,9 +378,7 @@ struct NetServer::Impl {
   void process_frames(Loop& loop, Conn* c) {
     while (!c->dead) {
       FrameView fv;
-      const FrameParse p =
-          parse_frame(c->in.data() + c->in_off, c->in.size() - c->in_off,
-                      cfg.max_frame_payload, &fv);
+      const FrameParse p = next_frame(c->bufs, cfg.max_frame_payload, &fv);
       if (p == FrameParse::kNeedMore) break;
       if (p == FrameParse::kBad) {
         // Torn/corrupt/hostile frame: the stream is unrecoverable (no
@@ -409,72 +390,45 @@ struct NetServer::Impl {
       const uint32_t seq = c->next_seq++;
       requests.fetch_add(1, std::memory_order_relaxed);
       handle_request(loop, c, seq, fv.payload, fv.len);
-      c->in_off += fv.consumed;
+      consume_frame(c->bufs, fv);
     }
-    drop_prefix(c->in, c->in_off);
+    finish_parse(c->bufs);
   }
 
-  /// Edge-triggered read: drain the socket completely — the next EPOLLIN
-  /// edge only comes after new bytes arrive.
+  /// Edge-triggered read: read_to_buffer drains the socket completely —
+  /// the next EPOLLIN edge only comes after new bytes arrive.
   void handle_readable(Loop& loop, Conn* c) {
-    bool eof = false;
-    for (;;) {
-      const size_t at = c->in.size();
-      c->in.resize(at + kReadChunk);
-      const ssize_t r = ::read(c->fd, c->in.data() + at, kReadChunk);
-      if (r > 0) {
-        c->in.resize(at + size_t(r));
-        if (c->in.size() - c->in_off >
-            size_t(cfg.max_frame_payload) + kFrameHeaderSize + kReadChunk) {
-          // A client shovelling bytes that never complete a frame is
-          // claiming a payload the cap already rejected.
-          protocol_errors.fetch_add(1, std::memory_order_relaxed);
-          c->dead = true;
-          break;
-        }
-        continue;
-      }
-      c->in.resize(at);
-      if (r == 0) {
-        eof = true;  // orderly close: buffered frames still run first
-      } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
-        c->dead = true;
-      }
-      break;
+    const IoStatus st = read_to_buffer(c->fd, c->bufs, cfg.max_frame_payload);
+    if (st == IoStatus::kOverflow) {
+      // A client shovelling bytes that never complete a frame is claiming
+      // a payload the cap already rejected.
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      c->dead = true;
+    } else if (st == IoStatus::kError) {
+      c->dead = true;
     }
     process_frames(loop, c);
     // Half-closed peers (shutdown(SHUT_WR)) get their pipelined responses
     // drained before the reap; full closes just fail the write.
-    if (eof) close_after_drain(c);
+    if (st == IoStatus::kEof) close_after_drain(c);
     flush_writes(c);
   }
 
-  /// Edge-triggered write: push until done or EAGAIN; the kernel raises
-  /// the next EPOLLOUT edge when the socket drains. Called after every
-  /// append too — an idle-writable socket never gets another edge.
-  /// MSG_NOSIGNAL: a peer that resets mid-flush must surface as EPIPE on
-  /// this connection, not SIGPIPE the whole process — remote disconnects
-  /// are hostile-client input, never allowed to kill the server.
+  /// Edge-triggered write via the shared helper (push until done or
+  /// EAGAIN; the kernel raises the next EPOLLOUT edge when the socket
+  /// drains — called after every append too, because an idle-writable
+  /// socket never gets another edge), plus the front door's slow-reader
+  /// policy on top.
   void flush_writes(Conn* c) {
-    while (c->out_off < c->out.size()) {
-      const ssize_t w = ::send(c->fd, c->out.data() + c->out_off,
-                               c->out.size() - c->out_off, MSG_NOSIGNAL);
-      if (w > 0) {
-        c->out_off += size_t(w);
-      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        break;
-      } else {
-        kill_conn(c);  // EPIPE/ECONNRESET: nothing left to drain to
-        return;
-      }
+    if (net::flush_writes(c->fd, c->bufs) == IoStatus::kError) {
+      kill_conn(c);  // EPIPE/ECONNRESET: nothing left to drain to
+      return;
     }
-    if (c->out.size() - c->out_off > cfg.max_outbuf_bytes) {
+    if (c->bufs.out_pending() > cfg.max_outbuf_bytes) {
       // Slow reader with unbounded pipelined responses: disconnect rather
       // than buffer without bound.
       kill_conn(c);
-      return;
     }
-    drop_prefix(c->out, c->out_off);
   }
 
   void close_conn(Loop& loop, uint64_t conn_id) {
@@ -582,7 +536,7 @@ struct NetServer::Impl {
       const auto now = Clock::now();
       for (auto& [id, c] : loop.conns) {
         if (!c->dead) continue;
-        if (c->drain && c->out_off < c->out.size() &&
+        if (c->drain && c->bufs.out_pending() > 0 &&
             now < c->drain_deadline) {
           draining = true;
           continue;
@@ -648,24 +602,8 @@ bool NetServer::start() {
   Impl& im = *impl_;
   if (im.started) return false;
   im.listen_fd =
-      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      tcp_listen(im.cfg.bind_addr, im.cfg.port, im.cfg.listen_backlog, &port_);
   if (im.listen_fd < 0) return false;
-  int one = 1;
-  setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(im.cfg.port);
-  if (inet_pton(AF_INET, im.cfg.bind_addr.c_str(), &addr.sin_addr) != 1 ||
-      bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-          0 ||
-      listen(im.listen_fd, im.cfg.listen_backlog) != 0) {
-    ::close(im.listen_fd);
-    im.listen_fd = -1;
-    return false;
-  }
-  socklen_t alen = sizeof(addr);
-  getsockname(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), &alen);
-  port_ = ntohs(addr.sin_port);
 
   im.accept_wakefd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   const int num_loops = im.cfg.num_loops < 1 ? 1 : im.cfg.num_loops;

@@ -3,16 +3,31 @@
 namespace parspan {
 
 std::optional<Election> elect_longest_log(
-    const std::vector<const FollowerReplica*>& candidates) {
+    const std::vector<CandidateStatus>& candidates) {
   std::optional<Election> best;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    const FollowerReplica* f = candidates[i];
-    if (f == nullptr || !f->has_state()) continue;
-    uint64_t dv = f->durable_version();
+    const CandidateStatus& c = candidates[i];
+    if (!c.has_state) continue;
     // Strict >: ties stay with the earliest candidate (deterministic).
-    if (!best || dv > best->durable_version) best = Election{i, dv};
+    if (!best || c.durable_version > best->durable_version)
+      best = Election{i, c.durable_version};
   }
   return best;
+}
+
+std::optional<Election> elect_longest_log(
+    const std::vector<const FollowerReplica*>& candidates) {
+  std::vector<CandidateStatus> claims;
+  claims.reserve(candidates.size());
+  for (const FollowerReplica* f : candidates) {
+    CandidateStatus s;
+    if (f != nullptr && f->has_state()) {
+      s.has_state = true;
+      s.durable_version = f->durable_version();
+    }
+    claims.push_back(s);
+  }
+  return elect_longest_log(claims);
 }
 
 }  // namespace parspan

@@ -39,9 +39,25 @@ struct Election {
   uint64_t durable_version = 0; // the winning log length
 };
 
-/// Longest-durable-log election over the surviving followers. Stateless
+/// What a remote candidate claims over the control plane: enough to run
+/// the same election without a FollowerReplica in hand. An unreachable
+/// candidate is represented by has_state = false (it cannot run — exactly
+/// a stateless local follower), so process-level and in-process elections
+/// share one decision procedure.
+struct CandidateStatus {
+  bool has_state = false;
+  uint64_t durable_version = 0;
+};
+
+/// Longest-durable-log election over candidate claims. Stateless
 /// candidates don't run; nullopt when nobody has state (no recoverable
-/// replica — the group is lost, by honest admission).
+/// replica — the group is lost, by honest admission). Ties break to the
+/// lowest index, so every node polling the same claims elects the same
+/// winner.
+std::optional<Election> elect_longest_log(
+    const std::vector<CandidateStatus>& candidates);
+
+/// Convenience overload over live followers (nullptr = unreachable).
 std::optional<Election> elect_longest_log(
     const std::vector<const FollowerReplica*>& candidates);
 

@@ -46,6 +46,10 @@ class LogShipper {
   uint64_t epoch() const { return epoch_; }
   /// Follower's last advertised applied version (0 before any cursor).
   uint64_t acked_version() const { return have_cursor_ ? cursor_.version : 0; }
+  /// Epoch of the follower's last cursor (0 before any). A cursor from a
+  /// HIGHER epoch than ours is how a deposed leader learns it was
+  /// replaced while it was away (DESIGN.md §14.3).
+  uint64_t acked_epoch() const { return have_cursor_ ? cursor_.epoch : 0; }
   bool subscribed() const { return have_cursor_; }
 
   uint64_t records_shipped() const { return records_shipped_; }

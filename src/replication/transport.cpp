@@ -183,6 +183,13 @@ void FaultyTransport::send_frame(ShipFrame frame) {
   inner_.send_frame(std::move(frame));
 }
 
+void FaultyTransport::drain() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.frames_drained_late += held_.size();
+  for (ShipFrame& h : held_) inner_.send_frame(std::move(h));
+  held_.clear();
+}
+
 std::optional<ShipFrame> FaultyTransport::recv_frame() {
   std::lock_guard<std::mutex> lk(mu_);
   auto f = inner_.recv_frame();

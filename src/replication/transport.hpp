@@ -135,10 +135,22 @@ class FaultyTransport final : public ReplicationTransport {
   FaultyTransport(const FaultPlan& plan, uint64_t seed)
       : plan_(plan), rng_(seed) {}
 
+  /// Held-back reorder frames are still pending delivery; flush them so
+  /// they count as delivered, not silently vanished.
+  ~FaultyTransport() override { drain(); }
+
   void send_frame(ShipFrame frame) override;
   std::optional<ShipFrame> recv_frame() override;
   void send_cursor(const ReplicaCursor& cursor) override;
   std::optional<ReplicaCursor> recv_cursor() override;
+
+  /// Releases every held-back reorder frame into the channel immediately.
+  /// recv_frame already flushes holdbacks once the channel runs dry, but a
+  /// harness that stops pumping mid-schedule would otherwise end with held
+  /// frames neither delivered nor counted as dropped — understating
+  /// delivered-frame counts. Call at end-of-schedule (the destructor also
+  /// calls it); frames released here are counted in frames_drained_late.
+  void drain();
 
   void set_partitioned(bool on) {
     std::lock_guard<std::mutex> lk(mu_);
@@ -154,6 +166,10 @@ class FaultyTransport final : public ReplicationTransport {
     uint64_t frames_reordered = 0;
     uint64_t frames_truncated = 0;
     uint64_t frames_bit_flipped = 0;
+    /// Holdbacks released by an explicit drain() (or destruction) instead
+    /// of the natural channel-dry flush — distinct so a schedule's
+    /// delivered-count assertions can tell late delivery from loss.
+    uint64_t frames_drained_late = 0;
     uint64_t cursors_sent = 0;
     uint64_t cursors_dropped = 0;
   };

@@ -329,15 +329,18 @@ TEST(FailoverSweep, ElectionEdgeCases) {
       std::make_shared<ChannelTransport>());
   ASSERT_FALSE(stateless->has_state());
 
-  const auto elect = elect_longest_log({nullptr, stateless.get(),
-                                        &c.group->follower(0),
-                                        &c.group->follower(1)});
+  const auto elect = elect_longest_log(std::vector<const FollowerReplica*>{
+      nullptr, stateless.get(), &c.group->follower(0),
+      &c.group->follower(1)});
   ASSERT_TRUE(elect.has_value());
   EXPECT_EQ(elect->winner, 2u);  // lowest index among the tied pair
   EXPECT_EQ(elect->durable_version, c.group->follower(0).durable_version());
 
-  EXPECT_FALSE(elect_longest_log({}).has_value());
-  EXPECT_FALSE(elect_longest_log({nullptr, stateless.get()}).has_value());
+  EXPECT_FALSE(elect_longest_log(std::vector<const FollowerReplica*>{})
+                   .has_value());
+  EXPECT_FALSE(elect_longest_log(std::vector<const FollowerReplica*>{
+                                     nullptr, stateless.get()})
+                   .has_value());
 }
 
 }  // namespace

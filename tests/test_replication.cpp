@@ -298,6 +298,39 @@ TEST(Replication, FollowerCrashRecoversOwnChainAndCatchesUp) {
 
 // --- GC'd history forces an explicit snapshot resync ------------------------
 
+// Regression: a reorder holdback pending when the schedule stops pumping
+// used to vanish silently — neither delivered nor counted as dropped, so a
+// schedule's delivered-frame accounting could not close. drain() (and the
+// destructor) must release holdbacks into the channel and count them
+// distinctly.
+TEST(Replication, FaultyTransportDrainReleasesEndOfScheduleHoldbacks) {
+  FaultPlan plan;
+  plan.reorder_p = 1.0;  // every frame is held behind later traffic
+  FaultyTransport t(plan, /*seed=*/11);
+
+  ShipFrame a;
+  a.bytes = {0x01, 0x02, 0x03};
+  t.send_frame(a);
+  // The natural dry-channel flush releases the first holdback...
+  auto released = t.recv_frame();
+  ASSERT_TRUE(released.has_value());
+  EXPECT_EQ(released->bytes, a.bytes);
+  EXPECT_EQ(t.stats().frames_drained_late, 0u);
+
+  // ...but a frame held when the harness stops pumping needs drain().
+  ShipFrame b;
+  b.bytes = {0x04, 0x05};
+  t.send_frame(b);
+  t.drain();
+  EXPECT_EQ(t.stats().frames_drained_late, 1u);
+  auto late = t.recv_frame();
+  ASSERT_TRUE(late.has_value()) << "drained holdback lost";
+  EXPECT_EQ(late->bytes, b.bytes);
+  EXPECT_FALSE(t.recv_frame().has_value());
+  EXPECT_EQ(t.stats().frames_dropped, 0u)
+      << "late delivery must not be booked as loss";
+}
+
 TEST(Replication, PartitionPastGcHorizonResyncsViaSnapshot) {
   const Workload w = make_workload(23);
   DurabilityOptions opts;

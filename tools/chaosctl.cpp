@@ -1,0 +1,625 @@
+// chaosctl: multiprocess chaos harness for the replication fleet
+// (DESIGN.md §14.4). Forks a leader + N follower `replicad` processes on
+// loopback, then injects a seeded stream of faults — kill -9, SIGSTOP /
+// SIGCONT, restart-off-own-chain, partition via leader-side listener
+// refusal — while a writer keeps committing batches through whichever
+// node currently leads. After EVERY event it asserts the group either
+// converges (one leader; every eligible follower lease-healthy at the
+// leader's epoch/version/checksum) or rejected the interaction
+// explicitly; any silent divergence — two processes reporting the same
+// (epoch, version) with different checksums — fails the run on the spot.
+//
+//   chaosctl --smoke                      # CI: leader+2, 20 seeded events
+//   chaosctl --followers 4 --events 50 --seed 7
+//
+// Per-node stdout goes to <workdir>/node<i>.log and the WAL/checkpoint
+// chains live under <workdir>/node<i>/ — on failure the workdir is kept
+// (CI uploads it); on success it is removed unless --keep.
+//
+// Exit code: 0 converged after every event, 1 otherwise.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/client.hpp"
+#include "replication/node.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace parspan;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  uint32_t followers = 2;
+  uint32_t events = 20;
+  uint64_t seed = 1;
+  std::string replicad = "./replicad";  // next to chaosctl in the build dir
+  std::string workdir;                  // default: /tmp/parspan_chaos_<pid>
+  uint16_t base_port = 0;               // 0 = derive from pid
+  uint32_t converge_budget_s = 30;      // per-event convergence deadline
+  uint32_t wall_budget_s = 420;         // whole-run bound
+  bool keep = false;
+
+  // Passed through to every replicad (cross-process on a small box needs
+  // slightly more slack than the in-process lease tests).
+  uint32_t lease_ms = 300;
+  uint32_t heartbeat_ms = 30;
+  uint32_t tick_ms = 2;
+  uint32_t peer_timeout_ms = 150;
+
+  uint32_t nodes() const { return followers + 1; }
+};
+
+enum class Ev {
+  kKillLeader,
+  kKillFollower,
+  kRestartDead,
+  kStopLeader,
+  kStopFollower,
+  kContStopped,
+  kPartitionOn,
+  kPartitionOff,
+};
+
+const char* ev_name(Ev e) {
+  switch (e) {
+    case Ev::kKillLeader: return "kill-leader";
+    case Ev::kKillFollower: return "kill-follower";
+    case Ev::kRestartDead: return "restart-dead";
+    case Ev::kStopLeader: return "sigstop-leader";
+    case Ev::kStopFollower: return "sigstop-follower";
+    case Ev::kContStopped: return "sigcont";
+    case Ev::kPartitionOn: return "partition-on";
+    case Ev::kPartitionOff: return "partition-off";
+  }
+  return "?";
+}
+
+struct Proc {
+  pid_t pid = -1;
+  bool running = false;
+  bool stopped = false;      // SIGSTOPped (still "running" as a process)
+  bool partitioned = false;  // current leader refuses its subscribe
+};
+
+struct Harness {
+  Options opt;
+  std::vector<PeerAddr> peers;
+  std::vector<Proc> procs;
+  // The convergence oracle: every status poll of every node feeds it. A
+  // second report of a key with a different checksum is silent
+  // divergence — the one failure replication must never have.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> oracle;
+  int last_leader = -1;
+  uint64_t writes_acked = 0;
+  Clock::time_point wall_deadline{};
+
+  void note(const char* fmt, ...) {
+    va_list ap;
+    va_start(ap, fmt);
+    std::printf("chaosctl: ");
+    std::vprintf(fmt, ap);
+    std::printf("\n");
+    std::fflush(stdout);
+    va_end(ap);
+  }
+
+  bool spawn(uint32_t i, bool as_leader, uint32_t leader_hint) {
+    std::vector<std::string> args = {
+        opt.replicad,
+        "--index", std::to_string(i),
+        "--nodes", std::to_string(opt.nodes()),
+        "--dir", opt.workdir + "/node" + std::to_string(i),
+        "--base-port", std::to_string(opt.base_port),
+        "--lease-ms", std::to_string(opt.lease_ms),
+        "--heartbeat-ms", std::to_string(opt.heartbeat_ms),
+        "--tick-ms", std::to_string(opt.tick_ms),
+        "--peer-timeout-ms", std::to_string(opt.peer_timeout_ms),
+    };
+    if (as_leader) {
+      args.push_back("--leader");
+    } else {
+      args.push_back("--leader-index");
+      args.push_back(std::to_string(leader_hint));
+    }
+    const pid_t pid = fork();
+    if (pid < 0) return false;
+    if (pid == 0) {
+      const std::string log =
+          opt.workdir + "/node" + std::to_string(i) + ".log";
+      const int fd = open(log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd >= 0) {
+        dup2(fd, 1);
+        dup2(fd, 2);
+        if (fd > 2) close(fd);
+      }
+      std::vector<char*> argv;
+      for (auto& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      _exit(127);  // exec failed; parent sees an unexpected death
+    }
+    procs[i] = Proc{pid, /*running=*/true, false, false};
+    return true;
+  }
+
+  void kill9(uint32_t i) {
+    kill(procs[i].pid, SIGKILL);
+    waitpid(procs[i].pid, nullptr, 0);
+    procs[i] = Proc{};
+  }
+
+  void sigstop(uint32_t i) {
+    kill(procs[i].pid, SIGSTOP);
+    procs[i].stopped = true;
+  }
+
+  void sigcont(uint32_t i) {
+    kill(procs[i].pid, SIGCONT);
+    procs[i].stopped = false;
+  }
+
+  /// A child we did not kill exiting on its own is a crash — fail loudly
+  /// instead of letting convergence paper over a dead process.
+  bool children_alive() {
+    int st = 0;
+    pid_t pid;
+    while ((pid = waitpid(-1, &st, WNOHANG)) > 0) {
+      for (uint32_t i = 0; i < procs.size(); ++i) {
+        if (procs[i].pid == pid && procs[i].running) {
+          note("FAIL: node %u (pid %d) died unexpectedly (status 0x%x)", i,
+               int(pid), st);
+          procs[i] = Proc{};
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Feeds one status into the oracle; false on silent divergence.
+  bool feed_oracle(uint32_t i, const NodeStatus& s) {
+    if (!s.has_state || s.applied_version == 0) return true;
+    const auto key = std::make_pair(s.epoch, s.applied_version);
+    const auto [it, inserted] = oracle.emplace(key, s.applied_checksum);
+    if (!inserted && it->second != s.applied_checksum) {
+      note("FAIL: silent divergence at epoch=%llu v=%llu: node %u reports "
+           "%016llx, oracle has %016llx",
+           (unsigned long long)s.epoch, (unsigned long long)s.applied_version,
+           i, (unsigned long long)s.applied_checksum,
+           (unsigned long long)it->second);
+      return false;
+    }
+    return true;
+  }
+
+  /// One leader among eligible nodes; every eligible follower
+  /// lease-healthy at its (epoch, version, checksum). Partitioned and
+  /// stopped nodes are exempt (they CANNOT converge — that is the point
+  /// of the fault), dead ones obviously so.
+  bool converge(const char* why) {
+    const auto deadline =
+        Clock::now() + std::chrono::seconds(opt.converge_budget_s);
+    while (Clock::now() < std::min(deadline, wall_deadline)) {
+      if (!children_alive()) return false;
+      int leader = -1;
+      uint64_t leader_epoch = 0;
+      bool ok = true;
+      std::vector<std::pair<uint32_t, NodeStatus>> polled;
+      for (uint32_t i = 0; i < procs.size(); ++i) {
+        if (!procs[i].running || procs[i].stopped) continue;
+        auto s = ReplicaNode::poll_status(peers[i], 300);
+        if (!s) {
+          if (!procs[i].partitioned) ok = false;
+          continue;
+        }
+        if (!feed_oracle(i, *s)) return false;
+        polled.emplace_back(i, *s);
+        // A partitioned node is exempt from follower agreement below, but
+        // NOT from leader detection: if it won an election the partition
+        // died with the old leader, and spotting the new leader is what
+        // clears the flags.
+        if (s->role == NodeRole::kLeader) {
+          if (leader >= 0) ok = false;  // two live leaders: keep waiting
+          if (s->epoch >= leader_epoch) {
+            leader = int(i);
+            leader_epoch = s->epoch;
+          }
+        }
+      }
+      if (ok && leader >= 0) {
+        if (leader != last_leader) {
+          // Refusal state lived in the old leader; a new one refuses
+          // nobody, so partitions are implicitly healed.
+          for (auto& p : procs) p.partitioned = false;
+          last_leader = leader;
+          continue;  // re-poll with the wider eligible set
+        }
+        NodeStatus ls{};
+        for (auto& [i, s] : polled)
+          if (int(i) == leader) ls = s;
+        for (auto& [i, s] : polled) {
+          if (int(i) == leader || procs[i].partitioned) continue;
+          ok = ok && s.lease_healthy && s.epoch == ls.epoch &&
+               s.applied_version == ls.applied_version &&
+               s.applied_checksum == ls.applied_checksum;
+        }
+        if (ok && ls.has_state) {
+          note("converged (%s): leader=%d epoch=%llu v=%llu", why, leader,
+               (unsigned long long)ls.epoch,
+               (unsigned long long)ls.applied_version);
+          return true;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    note("FAIL: no convergence after %s within %us", why,
+         opt.converge_budget_s);
+    dump_statuses();
+    return false;
+  }
+
+  void dump_statuses() {
+    for (uint32_t i = 0; i < procs.size(); ++i) {
+      if (!procs[i].running) {
+        note("  node %u: dead", i);
+        continue;
+      }
+      if (procs[i].stopped) {
+        note("  node %u: SIGSTOPped", i);
+        continue;
+      }
+      auto s = ReplicaNode::poll_status(peers[i], 300);
+      if (!s) {
+        note("  node %u: unreachable%s", i,
+             procs[i].partitioned ? " (partitioned)" : "");
+        continue;
+      }
+      note("  node %u: %s epoch=%llu v=%llu checksum=%016llx lease=%d%s", i,
+           s->role == NodeRole::kLeader ? "leader" : "follower",
+           (unsigned long long)s->epoch, (unsigned long long)s->applied_version,
+           (unsigned long long)s->applied_checksum, s->lease_healthy ? 1 : 0,
+           procs[i].partitioned ? " (partitioned)" : "");
+    }
+  }
+
+  /// Who leads right now, by live poll (max epoch wins a transient dual
+  /// claim). -1 when nobody answers as leader within the budget.
+  int find_leader(std::chrono::milliseconds budget) {
+    const auto deadline = Clock::now() + budget;
+    while (Clock::now() < deadline) {
+      int best = -1;
+      uint64_t best_epoch = 0;
+      for (uint32_t i = 0; i < procs.size(); ++i) {
+        if (!procs[i].running || procs[i].stopped) continue;
+        auto s = ReplicaNode::poll_status(peers[i], 300);
+        if (s && s->role == NodeRole::kLeader && s->epoch >= best_epoch) {
+          best = int(i);
+          best_epoch = s->epoch;
+        }
+      }
+      if (best >= 0) return best;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return -1;
+  }
+
+  /// The loadgen-style writer: commits `count` seeded batches through
+  /// whichever node currently leads, redialing across failovers. Every
+  /// submit either succeeds, says retry, or fails EXPLICITLY (error
+  /// status / dropped connection) — in which case the batch is re-sent to
+  /// the rediscovered leader. What never happens is a silent loss: acked
+  /// batches feed versions the oracle later cross-checks.
+  bool write_batches(Rng& rng, int count) {
+    const auto deadline = Clock::now() + std::chrono::seconds(
+                                             opt.converge_budget_s);
+    int done = 0;
+    std::optional<net::NetClient> client;
+    while (done < count && Clock::now() < std::min(deadline, wall_deadline)) {
+      if (!client) {
+        const int leader = find_leader(std::chrono::seconds(10));
+        if (leader < 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          continue;
+        }
+        client = net::NetClient::connect("127.0.0.1",
+                                         peers[leader].client_port);
+        if (!client) {  // lost the role between poll and dial; redial
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          continue;
+        }
+      }
+      std::vector<Edge> ins;
+      for (int e = 0; e < 6; ++e) {
+        const uint64_t x = rng.next();
+        ins.emplace_back(VertexId(x % 64), VertexId((x >> 8) % 64));
+      }
+      const auto r = client->submit(0, ins, {});
+      if (r.status == net::Status::kOk) {
+        if (client->flush().has_value()) {
+          ++done;
+          ++writes_acked;
+        } else {
+          client.reset();  // connection died mid-flush: explicit, re-send
+        }
+      } else if (r.status == net::Status::kRetryAfter) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::max(r.retry_after_ms, 10u)));
+      } else {
+        client.reset();  // explicit reject or dead conn: rediscover
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+    if (done < count) {
+      note("FAIL: writer committed only %d/%d batches before the deadline",
+           done, count);
+      dump_statuses();
+      return false;
+    }
+    return true;
+  }
+
+  /// Lifts the leader-side refusal for node i (best effort: the flag is
+  /// also cleared when the leader changes).
+  void heal_partition(uint32_t i) {
+    if (!procs[i].partitioned) return;
+    const int leader = find_leader(std::chrono::seconds(5));
+    if (leader >= 0)
+      ReplicaNode::request_partition(peers[leader], i, false, 1000);
+    procs[i].partitioned = false;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "chaosctl: %s needs a value\n", a.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (a == "--smoke") {
+      opt.followers = 2;
+      opt.events = 20;
+    } else if (a == "--followers") opt.followers = uint32_t(std::stoul(next()));
+    else if (a == "--events") opt.events = uint32_t(std::stoul(next()));
+    else if (a == "--seed") opt.seed = std::stoull(next());
+    else if (a == "--replicad") opt.replicad = next();
+    else if (a == "--workdir") opt.workdir = next();
+    else if (a == "--base-port") opt.base_port = uint16_t(std::stoul(next()));
+    else if (a == "--converge-budget-s")
+      opt.converge_budget_s = uint32_t(std::stoul(next()));
+    else if (a == "--wall-budget-s")
+      opt.wall_budget_s = uint32_t(std::stoul(next()));
+    else if (a == "--lease-ms") opt.lease_ms = uint32_t(std::stoul(next()));
+    else if (a == "--keep") opt.keep = true;
+    else {
+      std::fprintf(stderr, "chaosctl: unknown flag %s\n", a.c_str());
+      return 1;
+    }
+  }
+  if (opt.followers < 2) {
+    std::fprintf(stderr,
+                 "chaosctl: need --followers >= 2 (elections want a quorum "
+                 "of candidates)\n");
+    return 1;
+  }
+  if (opt.workdir.empty())
+    opt.workdir = "/tmp/parspan_chaos_" + std::to_string(getpid());
+  if (opt.base_port == 0)
+    opt.base_port = uint16_t(20000 + (getpid() * 137) % 10000);
+
+  signal(SIGPIPE, SIG_IGN);
+  std::filesystem::create_directories(opt.workdir);
+
+  Harness h;
+  h.opt = opt;
+  h.procs.resize(opt.nodes());
+  for (uint32_t i = 0; i < opt.nodes(); ++i) {
+    PeerAddr p;
+    p.ctl_port = uint16_t(opt.base_port + 3 * i);
+    p.repl_port = uint16_t(opt.base_port + 3 * i + 1);
+    p.client_port = uint16_t(opt.base_port + 3 * i + 2);
+    h.peers.push_back(p);
+  }
+  h.wall_deadline = Clock::now() + std::chrono::seconds(opt.wall_budget_s);
+  h.note("fleet: 1 leader + %u followers, %u events, seed %llu, ports %u+, "
+         "workdir %s",
+         opt.followers, opt.events, (unsigned long long)opt.seed,
+         opt.base_port, opt.workdir.c_str());
+
+  Rng rng(opt.seed);
+  bool ok = true;
+
+  // Bootstrap: node 0 leads, everyone else follows it, and a few batches
+  // give every node real state before the faults start.
+  for (uint32_t i = 0; i < opt.nodes() && ok; ++i)
+    ok = h.spawn(i, /*as_leader=*/i == 0, /*leader_hint=*/0);
+  ok = ok && h.converge("bootstrap") && h.write_batches(rng, 3) &&
+       h.converge("seed-writes");
+
+  uint32_t executed = 0;
+  while (ok && executed < opt.events) {
+    if (Clock::now() >= h.wall_deadline) {
+      h.note("FAIL: wall budget (%us) exhausted after %u/%u events",
+             opt.wall_budget_s, executed, opt.events);
+      ok = false;
+      break;
+    }
+
+    // Feasible events for the current fleet state. The invariant: at
+    // least 2 processes stay alive and un-stopped, so there is always a
+    // candidate pair to elect from.
+    const int leader = h.find_leader(std::chrono::seconds(10));
+    if (leader < 0) {
+      h.note("FAIL: no leader answering before event %u", executed + 1);
+      h.dump_statuses();
+      ok = false;
+      break;
+    }
+    uint32_t alive = 0;
+    for (auto& p : h.procs)
+      if (p.running && !p.stopped) ++alive;
+    std::vector<uint32_t> live_followers, dead, stopped, partitioned,
+        cuttable;
+    for (uint32_t i = 0; i < h.procs.size(); ++i) {
+      const Proc& p = h.procs[i];
+      if (!p.running) dead.push_back(i);
+      else if (p.stopped) stopped.push_back(i);
+      else if (int(i) != leader) {
+        live_followers.push_back(i);
+        if (p.partitioned) partitioned.push_back(i);
+        else cuttable.push_back(i);
+      }
+    }
+    std::vector<Ev> feasible;
+    if (alive > 2) {
+      feasible.push_back(Ev::kKillLeader);
+      feasible.push_back(Ev::kStopLeader);
+      if (!live_followers.empty()) {
+        feasible.push_back(Ev::kKillFollower);
+        feasible.push_back(Ev::kStopFollower);
+      }
+    }
+    if (!dead.empty()) feasible.push_back(Ev::kRestartDead);
+    if (!stopped.empty()) feasible.push_back(Ev::kContStopped);
+    if (!cuttable.empty()) feasible.push_back(Ev::kPartitionOn);
+    if (!partitioned.empty()) feasible.push_back(Ev::kPartitionOff);
+    if (feasible.empty()) {  // cannot happen with followers >= 2; be safe
+      h.note("FAIL: no feasible event (alive=%u)", alive);
+      ok = false;
+      break;
+    }
+
+    const Ev ev = feasible[rng.next() % feasible.size()];
+    auto pick = [&](const std::vector<uint32_t>& v) {
+      return v[rng.next() % v.size()];
+    };
+    ++executed;
+    switch (ev) {
+      case Ev::kKillLeader: {
+        h.note("event %u: %s node %d", executed, ev_name(ev), leader);
+        h.kill9(uint32_t(leader));
+        break;
+      }
+      case Ev::kKillFollower: {
+        const uint32_t i = pick(live_followers);
+        h.note("event %u: %s node %u", executed, ev_name(ev), i);
+        h.heal_partition(i);  // a refused corpse could never resubscribe
+        h.kill9(i);
+        break;
+      }
+      case Ev::kRestartDead: {
+        const uint32_t i = pick(dead);
+        h.note("event %u: %s node %u (follows %d)", executed, ev_name(ev), i,
+               leader);
+        if (!h.spawn(i, false, uint32_t(leader))) ok = false;
+        break;
+      }
+      case Ev::kStopLeader: {
+        h.note("event %u: %s node %d", executed, ev_name(ev), leader);
+        h.sigstop(uint32_t(leader));
+        break;
+      }
+      case Ev::kStopFollower: {
+        const uint32_t i = pick(cuttable.empty() ? live_followers : cuttable);
+        h.note("event %u: %s node %u", executed, ev_name(ev), i);
+        h.sigstop(i);
+        break;
+      }
+      case Ev::kContStopped: {
+        const uint32_t i = pick(stopped);
+        h.note("event %u: %s node %u", executed, ev_name(ev), i);
+        h.sigcont(i);
+        break;
+      }
+      case Ev::kPartitionOn: {
+        const uint32_t i = pick(cuttable);
+        h.note("event %u: %s node %u (leader %d refuses it)", executed,
+               ev_name(ev), i, leader);
+        if (ReplicaNode::request_partition(h.peers[leader], i, true, 1000))
+          h.procs[i].partitioned = true;
+        else
+          h.note("  partition request refused (leadership moved?); skipping");
+        break;
+      }
+      case Ev::kPartitionOff: {
+        const uint32_t i = pick(partitioned);
+        h.note("event %u: %s node %u", executed, ev_name(ev), i);
+        h.heal_partition(i);
+        break;
+      }
+    }
+
+    // The post-event contract: the group serves writes again AND every
+    // eligible node agrees on the result.
+    ok = ok && h.write_batches(rng, 2) && h.converge("event");
+  }
+
+  if (ok) {
+    // Final act: heal every fault and demand FULL convergence — every
+    // node of the original fleet present and agreeing.
+    h.note("final: healing all faults");
+    for (uint32_t i = 0; i < h.procs.size(); ++i)
+      if (h.procs[i].running && h.procs[i].stopped) h.sigcont(i);
+    for (uint32_t i = 0; i < h.procs.size(); ++i) h.heal_partition(i);
+    const int leader = h.find_leader(std::chrono::seconds(15));
+    for (uint32_t i = 0; i < h.procs.size() && ok; ++i)
+      if (!h.procs[i].running)
+        ok = h.spawn(i, false, uint32_t(leader >= 0 ? leader : 0));
+    ok = ok && h.write_batches(rng, 2) && h.converge("final");
+  }
+
+  for (auto& p : h.procs) {
+    if (!p.running) continue;
+    if (p.stopped) kill(p.pid, SIGCONT);
+    kill(p.pid, SIGTERM);
+  }
+  for (auto& p : h.procs) {
+    if (!p.running) continue;
+    int st = 0;
+    for (int tries = 0; tries < 100; ++tries) {
+      if (waitpid(p.pid, &st, WNOHANG) == p.pid) {
+        p.pid = -1;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (p.pid != -1) {
+      kill(p.pid, SIGKILL);
+      waitpid(p.pid, nullptr, 0);
+    }
+  }
+
+  h.note("%s: %u events, %llu batches acked, oracle holds %zu "
+         "(epoch, version) states",
+         ok ? "PASS" : "FAIL", executed, (unsigned long long)h.writes_acked,
+         h.oracle.size());
+  if (ok && !opt.keep) {
+    std::error_code ec;
+    std::filesystem::remove_all(opt.workdir, ec);
+  } else {
+    h.note("workdir kept at %s", opt.workdir.c_str());
+  }
+  return ok ? 0 : 1;
+}

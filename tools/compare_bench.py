@@ -11,8 +11,13 @@ threshold.
 
 Deltas are advisory on shared CI runners (noisy neighbors, tiny sampling
 windows): a flagged row is a prompt to rerun bench/run_benches.sh on a quiet
-host, not a merge blocker — the script always exits 0 unless its inputs are
-structurally broken. Benchmarks whose names don't appear in the baselines
+host, not a merge blocker — UNLESS the row is on the --stable-rows
+allowlist. Stable rows are benchmarks measured insensitive to runner noise
+(big fixed workloads, medians); a stable row slower than the baseline by
+more than --fail-over percent fails the job with exit 1. A stable row that
+is named but never compared (missing from the baselines or from the smoke
+run) exits 2 — a gate that silently stops gating is worse than a loud one.
+Benchmarks whose names don't appear in the baselines
 (e.g. tiny-size runs that change the workload, or newly added benches) are
 counted but not compared; binaries listed via --skip are excluded entirely
 (bench_service/bench_sharded run at PARSPAN_BENCH_TINY sizes in CI, which
@@ -23,14 +28,19 @@ Baselines written with --benchmark_repetitions (BENCH_wal.json) carry only
 aggregate rows; their `_median` entries compare against plain smoke rows via
 `run_name`, so repetition-aggregated and single-run documents mix freely.
 
-Exit codes: 0 = compared (regressions are advisory, never fail the job);
-2 = missing inputs (no baselines, no/unreadable smoke output);
+Exit codes: 0 = compared, no stable-row breach (other regressions are
+advisory, never fail the job);
+1 = a --stable-rows benchmark regressed past --fail-over percent;
+2 = missing inputs (no baselines, no/unreadable smoke output, or a
+    stable row that never got compared);
 3 = malformed baseline (bad JSON or not a run_benches.sh document) — every
-failure is a one-line actionable message, never a traceback.
+failure is a one-line actionable message, never a traceback. Structural
+failures (2, 3) take priority over the perf gate (1).
 
 Usage:
   tools/compare_bench.py --baseline-dir . --fresh-dir bench-smoke-out \
-      [--threshold 0.25] [--skip bench_service bench_sharded ...]
+      [--threshold 0.25] [--skip bench_service bench_sharded ...] \
+      [--fail-over 40 --stable-rows BM_ShipApplyThroughput ...]
 """
 
 import argparse
@@ -99,7 +109,15 @@ def main():
                     help="warn above this relative slowdown (default 0.25)")
     ap.add_argument("--skip", nargs="*", default=[],
                     help="bench binaries to exclude from comparison")
+    ap.add_argument("--fail-over", type=float, default=None, metavar="PCT",
+                    help="fail (exit 1) when a --stable-rows benchmark is "
+                         "slower than baseline by more than PCT percent")
+    ap.add_argument("--stable-rows", nargs="*", default=[], metavar="NAME",
+                    help="benchmark names gated by --fail-over (exact "
+                         "run_name match, e.g. BM_TcpFollowerCatchup/64)")
     args = ap.parse_args()
+    if args.stable_rows and args.fail_over is None:
+        ap.error("--stable-rows requires --fail-over")
 
     baselines = load_baselines(args.baseline_dir)
     if not baselines:
@@ -144,10 +162,22 @@ def main():
     print("| binary | benchmark | baseline | smoke | delta | |")
     print("|---|---|---:|---:|---:|---|")
     warned = 0
+    stable = set(args.stable_rows)
+    stable_seen = set()
+    gate_failures = []
+    fail_frac = (args.fail_over / 100.0) if args.fail_over is not None else None
     for binary, name, base_ns, fresh_ns in rows:
         delta = (fresh_ns - base_ns) / base_ns
         flag = ""
-        if delta > args.threshold:
+        if name in stable:
+            stable_seen.add(name)
+            if fail_frac is not None and delta > fail_frac:
+                flag = "❌ stable row regressed"
+                gate_failures.append((binary, name, delta))
+            elif delta > args.threshold:
+                flag = "⚠️ slower (stable row)"
+                warned += 1
+        elif delta > args.threshold:
             flag = "⚠️ slower"
             warned += 1
         elif delta < -args.threshold:
@@ -163,6 +193,22 @@ def main():
     if warned:
         print(f"\n**{warned} benchmark(s) regressed past the threshold** — "
               "rerun `bench/run_benches.sh` on a quiet host to confirm.")
+
+    # The --fail-over gate. An allowlisted row that was never compared is a
+    # missing input: the gate must not pass vacuously.
+    missing_stable = stable - stable_seen
+    if missing_stable:
+        print("error: stable row(s) never compared: "
+              + ", ".join(sorted(missing_stable))
+              + " — regenerate the baseline with bench/run_benches.sh or fix "
+                "the row name", file=sys.stderr)
+        return 2
+    if gate_failures:
+        print(f"\n**{len(gate_failures)} stable row(s) regressed more than "
+              f"{args.fail_over:.0f}% — failing the job:**")
+        for binary, name, delta in gate_failures:
+            print(f"- {binary} `{name}`: {delta:+.1%}")
+        return 1
     return 0
 
 

@@ -1,0 +1,142 @@
+// replicad: one replica process (DESIGN.md §14.2) — a thin main() over
+// ReplicaNode. chaosctl forks a fleet of these on loopback; operators can
+// run the same binary by hand (docs/examples.md has a walkthrough).
+//
+// Fixed port scheme: node i of a fleet with --base-port B uses
+//   ctl    = B + 3*i      (control protocol; always bound)
+//   repl   = B + 3*i + 1  (replication listener; bound while leader)
+//   client = B + 3*i + 2  (NetServer front door; bound while leader)
+// Every peer's three ports are therefore known up front, which is what
+// lets ANY follower be promoted without a config exchange.
+//
+//   replicad --index I --nodes N --dir PATH [--base-port B] [--leader]
+//            [--leader-index L] [--n V] [--k K] [--seed S]
+//            [--lease-ms MS] [--heartbeat-ms MS] [--tick-ms MS]
+//            [--peer-timeout-ms MS]
+//
+// Status lines go to stdout once a second (chaosctl redirects them to
+// node<i>.log — the postmortem artifact). SIGTERM/SIGINT stop the node
+// cleanly; the durable chain under --dir survives for the next start.
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "replication/node.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+const char* role_name(parspan::NodeRole r) {
+  return r == parspan::NodeRole::kLeader ? "leader" : "follower";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parspan;
+
+  uint32_t index = 0;
+  uint32_t nodes = 3;
+  std::string dir;
+  uint16_t base_port = 24600;
+  bool leader = false;
+  uint32_t leader_index = 0;
+  ReplicaNodeConfig cfg;
+  cfg.spanner.k = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "replicad: %s needs a value\n", a.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (a == "--index") index = uint32_t(std::stoul(next()));
+    else if (a == "--nodes") nodes = uint32_t(std::stoul(next()));
+    else if (a == "--dir") dir = next();
+    else if (a == "--base-port") base_port = uint16_t(std::stoul(next()));
+    else if (a == "--leader") leader = true;
+    else if (a == "--leader-index") leader_index = uint32_t(std::stoul(next()));
+    else if (a == "--n") cfg.n = size_t(std::stoul(next()));
+    else if (a == "--k") cfg.spanner.k = uint32_t(std::stoul(next()));
+    else if (a == "--seed") cfg.spanner.seed = std::stoull(next());
+    else if (a == "--lease-ms") cfg.lease_ms = uint32_t(std::stoul(next()));
+    else if (a == "--heartbeat-ms")
+      cfg.heartbeat_ms = uint32_t(std::stoul(next()));
+    else if (a == "--tick-ms") cfg.tick_ms = uint32_t(std::stoul(next()));
+    else if (a == "--peer-timeout-ms")
+      cfg.peer_timeout_ms = uint32_t(std::stoul(next()));
+    else {
+      std::fprintf(stderr, "replicad: unknown flag %s\n", a.c_str());
+      return 1;
+    }
+  }
+  if (dir.empty() || index >= nodes) {
+    std::fprintf(stderr,
+                 "replicad: --dir is required and --index must be < --nodes\n");
+    return 1;
+  }
+
+  cfg.index = index;
+  cfg.fs = std::make_shared<PosixFs>();
+  cfg.dir = dir;
+  cfg.start_as_leader = leader;
+  cfg.initial_leader = leader_index;
+  for (uint32_t i = 0; i < nodes; ++i) {
+    PeerAddr p;
+    p.ctl_port = uint16_t(base_port + 3 * i);
+    p.repl_port = uint16_t(base_port + 3 * i + 1);
+    p.client_port = uint16_t(base_port + 3 * i + 2);
+    cfg.peers.push_back(p);
+  }
+
+  signal(SIGTERM, on_signal);
+  signal(SIGINT, on_signal);
+  signal(SIGPIPE, SIG_IGN);
+
+  ReplicaNode node(std::move(cfg));
+  if (!node.start()) {
+    std::fprintf(stderr, "replicad: node %u failed to start (ports in use?)\n",
+                 index);
+    return 1;
+  }
+  std::printf("replicad: node %u up (ctl=%u repl=%u client=%u)%s\n", index,
+              base_port + 3 * index, base_port + 3 * index + 1,
+              base_port + 3 * index + 2, leader ? " as bootstrap leader" : "");
+  std::fflush(stdout);
+
+  auto last_report = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_report >= std::chrono::seconds(1)) {
+      last_report = now;
+      const NodeStatus s = node.status();
+      std::printf("replicad: node %u %s epoch=%llu v=%llu checksum=%016llx "
+                  "durable=%llu lease=%d resyncs=%llu rejects=%llu\n",
+                  index, role_name(s.role), (unsigned long long)s.epoch,
+                  (unsigned long long)s.applied_version,
+                  (unsigned long long)s.applied_checksum,
+                  (unsigned long long)s.durable_version,
+                  s.lease_healthy ? 1 : 0, (unsigned long long)s.resyncs,
+                  (unsigned long long)s.rejects);
+      std::fflush(stdout);
+    }
+  }
+  node.stop();
+  std::printf("replicad: node %u stopped\n", index);
+  return 0;
+}

@@ -2,10 +2,13 @@
 """Exit-code contract tests for tools/compare_bench.py.
 
 The CI bench-smoke job branches on this tool's exit codes, so they are an
-API: 0 = compared (regressions are advisory and must NOT fail the job),
-2 = missing inputs, 3 = malformed baseline. A refactor that turns a
+API: 0 = compared (regressions are advisory and must NOT fail the job,
+except --stable-rows), 1 = a --stable-rows benchmark regressed past
+--fail-over percent, 2 = missing inputs (including a stable row that never
+got compared), 3 = malformed baseline. A refactor that turns a
 missing-baseline message into a traceback, or starts exiting non-zero on a
-flagged regression, silently changes CI behavior — these tests pin it.
+flagged non-stable regression, silently changes CI behavior — these tests
+pin it.
 
 Run directly (python3 tools/test_compare_bench.py) or via ctest
 (test_compare_bench).
@@ -143,6 +146,60 @@ class CompareBenchExitCodes(unittest.TestCase):
                      "--fresh-dir", self.fresh_dir)
         self.assertEqual(r.returncode, 3)
         self.assertIn("malformed baseline", r.stderr)
+
+    # --- exit 1: the --stable-rows / --fail-over gate ------------------------
+
+    def test_stable_row_regression_past_fail_over_exits_one(self):
+        self.seed_baseline(ns=1000.0)
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 1500.0}))  # +50% > 40% gate
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir,
+                     "--fail-over", "40", "--stable-rows", "BM_Thing")
+        self.assertEqual(r.returncode, 1, r.stderr)
+        self.assertIn("stable row", r.stdout)
+
+    def test_stable_row_within_fail_over_exits_zero(self):
+        self.seed_baseline(ns=1000.0)
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 1300.0}))  # +30% < 40% gate
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir, "--threshold", "0.25",
+                     "--fail-over", "40", "--stable-rows", "BM_Thing")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_non_stable_regression_stays_advisory_with_gate_on(self):
+        write(os.path.join(self.baseline_dir, "BENCH_x.json"),
+              {"bench_x": bench_doc({"BM_Thing": 1000.0,
+                                     "BM_Noisy": 1000.0})})
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 1000.0, "BM_Noisy": 9000.0}))
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir,
+                     "--fail-over", "40", "--stable-rows", "BM_Thing")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("regressed past the threshold", r.stdout)
+
+    def test_stable_row_never_compared_exits_two(self):
+        # A gate that silently stops gating (typo'd row name, regenerated
+        # baseline that dropped the row) must fail loudly, not pass.
+        self.seed_baseline(ns=1000.0)
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 1000.0}))
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir,
+                     "--fail-over", "40", "--stable-rows", "BM_Renamed")
+        self.assertEqual(r.returncode, 2, r.stderr)
+        self.assertIn("never compared", r.stderr)
+
+    def test_stable_rows_without_fail_over_is_a_usage_error(self):
+        self.seed_baseline()
+        write(os.path.join(self.fresh_dir, "bench_x.json"),
+              bench_doc({"BM_Thing": 1000.0}))
+        r = run_tool("--baseline-dir", self.baseline_dir,
+                     "--fresh-dir", self.fresh_dir,
+                     "--stable-rows", "BM_Thing")
+        self.assertEqual(r.returncode, 2)  # argparse usage error
 
     # --- repetition aggregates mix with single runs -------------------------
 
